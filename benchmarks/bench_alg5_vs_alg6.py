@@ -1,0 +1,57 @@
+"""Experiment E4: Algorithm 5 (Theta(p log p) per processor) vs Algorithm 6 (Theta(p)).
+
+Propositions 8 and 9.  Wall-clock timings of in-process thread runs are noisy
+at these sizes, so the benchmark times the runs *and* asserts on the exact
+resource counters of the cost reports, which are deterministic: the maximum
+per-processor communication volume of Algorithm 5 grows by an extra log
+factor compared with Algorithm 6, while both produce identically distributed
+matrices.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchRecord
+from repro.core.parallel_matrix import sample_matrix_parallel
+
+PROC_COUNTS = [8, 16, 32]
+ITEMS_PER_PROC = 64
+
+
+@pytest.mark.benchmark(group="E4-alg5-vs-alg6")
+@pytest.mark.parametrize("algorithm", ["alg5", "alg6", "root"])
+@pytest.mark.parametrize("n_procs", PROC_COUNTS)
+def test_benchmark_parallel_matrix(benchmark, algorithm, n_procs):
+    rows = cols = [ITEMS_PER_PROC] * n_procs
+    benchmark.extra_info["n_procs"] = n_procs
+
+    def run():
+        matrix, run_result = sample_matrix_parallel(rows, cols, algorithm=algorithm, seed=n_procs)
+        return matrix, run_result
+
+    matrix, _ = benchmark(run)
+    assert matrix.shape == (n_procs, n_procs)
+
+
+@pytest.mark.benchmark(group="E4-alg5-vs-alg6")
+def test_per_processor_communication_growth(benchmark, reproduction_summary):
+    """Max per-processor words: alg5 grows ~ p log p, alg6 ~ p (Props 8-9)."""
+    def collect():
+        stats = {}
+        for algorithm in ("alg5", "alg6"):
+            for p in (16, 64):
+                rows = cols = [16] * p
+                _, run = sample_matrix_parallel(rows, cols, algorithm=algorithm, seed=p)
+                stats[(algorithm, p)] = run.cost_report.max_over_ranks("words_sent")
+        return stats
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    growth5 = stats[("alg5", 64)] / stats[("alg5", 16)]
+    growth6 = stats[("alg6", 64)] / stats[("alg6", 16)]
+    reproduction_summary.add(
+        BenchRecord("E4 per-proc words growth 16->64 procs (alg5)", "~ 4x * log factor", f"{growth5:.2f}x")
+    )
+    reproduction_summary.add(
+        BenchRecord("E4 per-proc words growth 16->64 procs (alg6)", "~ 4x", f"{growth6:.2f}x")
+    )
+    assert growth5 > growth6
+    assert stats[("alg5", 64)] > stats[("alg6", 64)]

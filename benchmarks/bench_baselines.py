@@ -1,0 +1,101 @@
+"""Experiment E6: Algorithm 1 against the competing coarse-grained methods.
+
+The paper's introduction argues that prior methods violate at least one of
+uniformity / work-optimality / balance:
+
+* sort-based (Goodrich): uniform and balanced but pays a log n factor of work;
+* dart throwing: work-optimal but does not respect the target layout
+  (and iterating it multiplies the work);
+* rejection: uniform and balanced but the expected number of restarts
+  explodes with p.
+
+The benchmark times all of them on the same input and records the resource
+counters that exhibit each violation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dart_throwing import dart_throwing_permutation
+from repro.baselines.rejection import acceptance_probability
+from repro.baselines.sort_based import sort_based_permutation
+from repro.bench.harness import BenchRecord
+from repro.core.permutation import random_permutation
+from repro.pro.machine import PROMachine
+
+N_ITEMS = 100_000
+N_PROCS = 8
+
+
+@pytest.mark.benchmark(group="E6-baselines")
+def test_benchmark_algorithm1(benchmark):
+    data = np.arange(N_ITEMS, dtype=np.int64)
+    machine = PROMachine(N_PROCS, seed=0)
+    out = benchmark(lambda: random_permutation(data, n_procs=N_PROCS, machine=machine))
+    assert np.array_equal(np.sort(out), data)
+
+
+@pytest.mark.benchmark(group="E6-baselines")
+def test_benchmark_sort_based(benchmark):
+    data = np.arange(N_ITEMS, dtype=np.int64)
+    machine = PROMachine(N_PROCS, seed=1)
+    out = benchmark(lambda: sort_based_permutation(data, machine=machine)[0])
+    assert np.array_equal(np.sort(out), data)
+
+
+@pytest.mark.benchmark(group="E6-baselines")
+def test_benchmark_dart_throwing(benchmark):
+    data = np.arange(N_ITEMS, dtype=np.int64)
+    machine = PROMachine(N_PROCS, seed=2)
+    out = benchmark(lambda: dart_throwing_permutation(data, machine=machine)[0])
+    assert np.array_equal(np.sort(out), data)
+
+
+@pytest.mark.benchmark(group="E6-baselines")
+def test_work_and_balance_comparison(benchmark, reproduction_summary):
+    """Resource counters that exhibit each method's violation."""
+    def collect():
+        data = np.arange(20_000, dtype=np.int64)
+        stats = {}
+
+        machine = PROMachine(N_PROCS, seed=3, count_random_variates=True)
+        from repro.core.permutation import permute_distributed
+        from repro.core.blocks import BlockDistribution
+        blocks = [b.copy() for b in BlockDistribution.balanced(len(data), N_PROCS).split(data)]
+        _, run1 = permute_distributed(blocks, machine=machine)
+        stats["alg1_ops"] = run1.cost_report.total("compute_ops")
+
+        _, run_sort = sort_based_permutation(data, machine=PROMachine(N_PROCS, seed=4))
+        stats["sort_ops"] = run_sort.cost_report.total("compute_ops")
+
+        _, run_dart = dart_throwing_permutation(data, machine=PROMachine(N_PROCS, seed=5))
+        stats["dart_sizes"] = [len(b) for b in run_dart.results]
+
+        stats["rejection_acceptance_p8"] = acceptance_probability([len(data) // N_PROCS] * N_PROCS)
+        stats["rejection_acceptance_p32"] = acceptance_probability([len(data) // 32] * 32)
+        return stats
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    # Work-optimality: the sort-based method does asymptotically more work.
+    log_factor = stats["sort_ops"] / max(stats["alg1_ops"], 1)
+    reproduction_summary.add(
+        BenchRecord("E6 sort-based total work vs Algorithm 1", "log n factor", f"{log_factor:.1f}x")
+    )
+    assert log_factor > 2.0
+
+    # Balance: dart throwing does not hit the prescribed layout.
+    sizes = stats["dart_sizes"]
+    reproduction_summary.add(
+        BenchRecord("E6 dart-throwing block sizes (target 2500 each)", "exact layout required",
+                    f"min {min(sizes)}, max {max(sizes)}")
+    )
+    assert max(sizes) != min(sizes) or max(sizes) != 2_500
+
+    # Work-optimality of rejection: acceptance probability collapses with p.
+    reproduction_summary.add(
+        BenchRecord("E6 rejection acceptance probability p=8 -> p=32",
+                    "collapses with p",
+                    f"{stats['rejection_acceptance_p8']:.1e} -> {stats['rejection_acceptance_p32']:.1e}")
+    )
+    assert stats["rejection_acceptance_p32"] < stats["rejection_acceptance_p8"] < 1e-2

@@ -1,0 +1,58 @@
+"""Extension experiment E8 (the paper's outlook): external-memory permutation.
+
+Section 6 suggests using the coarse-grained algorithm to avoid the cache
+misses of the straightforward shuffle.  The benchmark compares block-transfer
+counts of the two-pass matrix-driven permutation against naive Fisher-Yates
+through a small cache, and times both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchRecord
+from repro.extmem import (
+    MemoryBlockStore,
+    external_random_permutation,
+    naive_external_permutation,
+)
+
+N_ITEMS = 20_000
+BLOCK_SIZE = 1_000
+CACHE_BLOCKS = 4
+
+
+def _fresh_source():
+    store = MemoryBlockStore()
+    store.load_vector(np.arange(N_ITEMS), block_size=BLOCK_SIZE)
+    store.io.reset()
+    return store
+
+
+@pytest.mark.benchmark(group="E8-external-memory")
+def test_benchmark_two_pass(benchmark, reproduction_summary):
+    def run():
+        return external_random_permutation(_fresh_source(), MemoryBlockStore(), seed=1)
+
+    result = benchmark(run)
+    reproduction_summary.add(
+        BenchRecord("E8 two-pass block transfers", "O(n/B)", result.block_transfers,
+                    note=f"{N_ITEMS} items in blocks of {BLOCK_SIZE}")
+    )
+    assert result.block_transfers <= 6 * (N_ITEMS // BLOCK_SIZE)
+
+
+@pytest.mark.benchmark(group="E8-external-memory")
+def test_benchmark_naive_cached(benchmark, reproduction_summary):
+    def run():
+        return naive_external_permutation(
+            _fresh_source(), MemoryBlockStore(), cache_blocks=CACHE_BLOCKS, seed=1
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    reproduction_summary.add(
+        BenchRecord("E8 naive block transfers", "~ one per item once out of cache",
+                    result.block_transfers,
+                    note=f"cache of {CACHE_BLOCKS} blocks")
+    )
+    # The naive method transfers at least an order of magnitude more blocks.
+    assert result.block_transfers > 10 * 6 * (N_ITEMS // BLOCK_SIZE)

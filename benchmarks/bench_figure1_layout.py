@@ -1,0 +1,42 @@
+"""Figure F1: the block-layout illustration of the paper.
+
+Figure 1 shows a vector and a permuted copy distributed over 6 processors.
+The benchmark regenerates the underlying data (block sizes, realised
+communication matrix, per-item provenance) with the real algorithm and
+checks the structural facts the figure conveys: both layouts cover the same
+items, the matrix marginals equal the block sizes, and items from every
+source block are spread over many target blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figure1 import figure1_layout, render_layout
+from repro.bench.harness import BenchRecord
+
+
+@pytest.mark.benchmark(group="F1-figure1")
+def test_benchmark_figure1_layout(benchmark, reproduction_summary):
+    layout = benchmark(lambda: figure1_layout(n_items=60, n_procs=6, seed=2003))
+
+    matrix = layout["communication_matrix"]
+    assert matrix.sum() == 60
+    assert np.array_equal(matrix.sum(axis=1), layout["source_sizes"])
+    assert np.array_equal(matrix.sum(axis=0), layout["target_sizes"])
+
+    # A uniform permutation spreads each source block across most targets.
+    nonzero_targets_per_source = (matrix > 0).sum(axis=1)
+    assert nonzero_targets_per_source.mean() >= 3
+
+    text = render_layout(layout)
+    assert text.count("\n") == 1
+    reproduction_summary.add(
+        BenchRecord("F1 processors", 6, int(matrix.shape[0]), note="layout regenerated, see examples/figure1_layout.py")
+    )
+
+
+@pytest.mark.benchmark(group="F1-figure1")
+def test_benchmark_figure1_larger_instance(benchmark):
+    """Same structure at a size where the exchange volume is non-trivial."""
+    layout = benchmark(lambda: figure1_layout(n_items=6_000, n_procs=6, seed=7))
+    assert layout["communication_matrix"].sum() == 6_000

@@ -1,0 +1,49 @@
+"""Experiment E3: cost of sampling the communication matrix.
+
+Theorem 2 / Proposition 7: the sequential sampler costs ``O(p^2)`` -- linear
+in the size of the matrix -- and the number of ``h(,)`` calls is exactly
+``p * p'``.  The benchmark times Algorithm 3 and Algorithm 4 over a sweep of
+``p`` and checks that the growth is quadratic in ``p`` (i.e. linear per
+matrix entry), not worse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchRecord
+from repro.core import commmatrix
+from repro.core.hypergeometric import SampleRecorder
+
+PROC_COUNTS = [8, 16, 32, 64]
+ITEMS_PER_PROC = 1_000
+
+
+@pytest.mark.benchmark(group="E3-matrix-sampling")
+@pytest.mark.parametrize("strategy", ["sequential", "recursive"])
+@pytest.mark.parametrize("n_procs", PROC_COUNTS)
+def test_benchmark_matrix_sampling(benchmark, strategy, n_procs):
+    rows = cols = np.full(n_procs, ITEMS_PER_PROC, dtype=np.int64)
+    rng = np.random.default_rng(n_procs)
+    benchmark.extra_info["n_procs"] = n_procs
+    matrix = benchmark(lambda: commmatrix.sample_matrix(rows, cols, rng, strategy=strategy))
+    assert matrix.shape == (n_procs, n_procs)
+
+
+@pytest.mark.benchmark(group="E3-matrix-sampling")
+def test_h_calls_scale_quadratically(benchmark, reproduction_summary):
+    """The number of h(,) calls equals p*p' for Algorithm 3 (the O(p^2) claim)."""
+    def count_calls():
+        calls = {}
+        for p in (8, 16, 32):
+            rows = cols = np.full(p, 100, dtype=np.int64)
+            with SampleRecorder() as rec:
+                commmatrix.sample_matrix_sequential(rows, cols, np.random.default_rng(p))
+            calls[p] = rec.n_calls
+        return calls
+
+    calls = benchmark.pedantic(count_calls, rounds=1, iterations=1)
+    for p, n_calls in calls.items():
+        assert n_calls == p * p
+    reproduction_summary.add(
+        BenchRecord("E3 h() calls at p=32", "p^2 = 1024", calls[32], note="Proposition 7")
+    )

@@ -1,0 +1,75 @@
+"""Experiment T1: the scaling table of Section 6.
+
+Regenerates the paper's running-time table in two ways:
+
+* the calibrated cost model evaluated at the paper's own parameters
+  (480e6 items, p in {3, 6, 12, 24, 48}), compared row by row against the
+  paper's measurements (printed in the end-of-run summary);
+* measured wall-clock times of the real implementation (thread backend) for
+  a laptop-sized input, timed with pytest-benchmark: one sequential
+  reference plus one row per processor count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fisher_yates import sequential_permutation
+from repro.bench.harness import BenchRecord
+from repro.bench.paper_claims import PAPER_CLAIMS
+from repro.bench.scaling import (
+    crossover_processors,
+    overhead_factor,
+    predicted_scaling_table,
+)
+from repro.core.permutation import random_permutation
+from repro.pro.machine import PROMachine
+
+N_MEASURED = 200_000
+MEASURED_PROCS = [2, 4, 8]
+
+
+@pytest.mark.benchmark(group="T1-model")
+def test_model_reproduces_paper_table(benchmark, reproduction_summary):
+    """Evaluate the calibrated model for every row of the paper's table."""
+    rows = benchmark(predicted_scaling_table)
+    for row in rows:
+        paper = row["paper_seconds"]
+        if paper is None:
+            continue
+        label = "sequential" if row["n_procs"] == 0 else f"p={row['n_procs']}"
+        reproduction_summary.add(
+            BenchRecord(f"T1 {label}", f"{paper:.1f}", f"{row['predicted_seconds']:.1f}", unit="s",
+                        note="480e6 items, calibrated model")
+        )
+        assert abs(row["predicted_seconds"] - paper) / paper < 0.20
+    factor = overhead_factor(rows)
+    low, high = PAPER_CLAIMS["T1"]["overhead_factor_range"]
+    reproduction_summary.add(BenchRecord("T1 overhead factor", f"{low}-{high}", f"{factor:.2f}", unit="x"))
+    reproduction_summary.add(
+        BenchRecord("T1 crossover", PAPER_CLAIMS["T1"]["crossover_processors"],
+                    crossover_processors(rows), unit="procs")
+    )
+    assert low <= factor <= high
+    assert crossover_processors(rows) == PAPER_CLAIMS["T1"]["crossover_processors"]
+
+
+@pytest.mark.benchmark(group="T1-scaling")
+def test_benchmark_sequential_reference(benchmark):
+    """The sequential reference permutation (the '137 s' row, scaled down)."""
+    data = np.arange(N_MEASURED, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    benchmark.extra_info["n_items"] = N_MEASURED
+    result = benchmark(lambda: sequential_permutation(data, rng))
+    assert len(result) == N_MEASURED
+
+
+@pytest.mark.benchmark(group="T1-scaling")
+@pytest.mark.parametrize("n_procs", MEASURED_PROCS)
+def test_benchmark_parallel_permutation(benchmark, n_procs):
+    """Algorithm 1 on the thread backend (the parallel rows, scaled down)."""
+    data = np.arange(N_MEASURED, dtype=np.int64)
+    machine = PROMachine(n_procs, seed=1)
+    benchmark.extra_info["n_items"] = N_MEASURED
+    benchmark.extra_info["n_procs"] = n_procs
+    result = benchmark(lambda: random_permutation(data, n_procs=n_procs, machine=machine))
+    assert np.array_equal(np.sort(result), data)

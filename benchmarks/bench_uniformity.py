@@ -1,0 +1,50 @@
+"""Experiment E7: uniformity of the end-to-end parallel permutation.
+
+Theorem 1 / Propositions 1-2: Algorithm 1 samples permutations uniformly.
+The benchmark draws thousands of small permutations through the full
+parallel pipeline, runs the exhaustive chi-square test over all n! outcomes
+and the exact goodness-of-fit test of the communication-matrix law, and
+reports the p-values (which should be comfortably above any rejection
+threshold).
+"""
+
+import pytest
+
+from repro.bench.harness import BenchRecord
+from repro.core.parallel_matrix import sample_matrix_parallel
+from repro.core.permutation import random_permutation_indices
+from repro.pro.machine import PROMachine
+from repro.stats.matrix_tests import chi_square_matrix_law
+from repro.stats.uniformity import chi_square_permutation_uniformity
+
+
+@pytest.mark.benchmark(group="E7-uniformity")
+def test_benchmark_permutation_uniformity(benchmark, reproduction_summary):
+    machine = PROMachine(2, seed=20030608)
+
+    def run_test():
+        sampler = lambda: random_permutation_indices(4, machine=machine)
+        return chi_square_permutation_uniformity(sampler, 4, 4000)
+
+    result = benchmark.pedantic(run_test, rounds=1, iterations=1)
+    reproduction_summary.add(
+        BenchRecord("E7 exhaustive uniformity p-value (n=4, p=2)", "uniform", f"{result.p_value:.3f}")
+    )
+    assert result.p_value > 1e-4
+
+
+@pytest.mark.benchmark(group="E7-uniformity")
+@pytest.mark.parametrize("algorithm", ["alg5", "alg6"])
+def test_benchmark_matrix_law(benchmark, algorithm, reproduction_summary):
+    rows, cols = [3, 2], [2, 3]
+    machine = PROMachine(2, seed=hash(algorithm) % 2**31)
+
+    def run_test():
+        sampler = lambda: sample_matrix_parallel(rows, cols, machine=machine, algorithm=algorithm)[0]
+        return chi_square_matrix_law(sampler, rows, cols, 2500)
+
+    result = benchmark.pedantic(run_test, rounds=1, iterations=1)
+    reproduction_summary.add(
+        BenchRecord(f"E7 matrix-law p-value ({algorithm})", "exact law of Problem 2", f"{result.p_value:.3f}")
+    )
+    assert result.p_value > 1e-4

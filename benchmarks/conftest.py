@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+Makes ``src/`` importable without installation (mirrors the repository-root
+``conftest.py``) and provides a session-scoped collector that prints the
+paper-vs-measured summary at the end of a benchmark run.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+class ReproductionSummary:
+    """Collects BenchRecord rows from the individual benchmarks."""
+
+    def __init__(self):
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+
+    def extend(self, records):
+        self.records.extend(records)
+
+
+@pytest.fixture(scope="session")
+def reproduction_summary():
+    return _SUMMARY
+
+
+_SUMMARY = ReproductionSummary()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SUMMARY.records:
+        return
+    from repro.bench.harness import paper_vs_measured_table
+
+    report = paper_vs_measured_table(_SUMMARY.records, title="Paper vs measured (this run)")
+    print("\n\n" + report + "\n")

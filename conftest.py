@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Ensures that ``src/`` is importable even when the package has not been
+installed (e.g. on offline machines where ``pip install -e .`` cannot build
+its editable wheel).  When the package *is* installed this is a harmless
+no-op because the installed location takes precedence only if it appears
+earlier on ``sys.path``; tests always exercise the checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

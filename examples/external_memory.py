@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""External-memory permutation: the outlook of the paper, made concrete.
+
+Section 6 of the paper suggests that the coarse-grained algorithm also pays
+off out of core (and for cache efficiency): the blocks of the virtual
+processors become disk blocks, and the all-to-all exchange becomes two
+sequential passes.  This example permutes a vector stored block-by-block and
+compares the number of block transfers against naive Fisher-Yates running
+through a small cache -- the "cache misses of the straightforward algorithm"
+the paper refers to.
+
+Run with::
+
+    python examples/external_memory.py
+"""
+
+import numpy as np
+
+from repro.extmem import (
+    MemoryBlockStore,
+    external_random_permutation,
+    naive_external_permutation,
+)
+from repro.util.tables import format_table
+
+
+def run_case(n_items: int, block_size: int, cache_blocks: int, seed: int) -> list:
+    source = MemoryBlockStore()
+    source.load_vector(np.arange(n_items), block_size=block_size)
+    source.io.reset()
+    two_pass = external_random_permutation(source, MemoryBlockStore(), seed=seed)
+
+    source2 = MemoryBlockStore()
+    source2.load_vector(np.arange(n_items), block_size=block_size)
+    source2.io.reset()
+    naive = naive_external_permutation(source2, MemoryBlockStore(), cache_blocks=cache_blocks, seed=seed)
+
+    return [
+        n_items,
+        n_items // block_size,
+        two_pass.block_transfers,
+        naive.block_transfers,
+        f"{naive.block_transfers / max(two_pass.block_transfers, 1):.1f}x",
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_case(2_000, 250, 2, seed=1),
+        run_case(8_000, 500, 2, seed=2),
+        run_case(20_000, 1_000, 4, seed=3),
+    ]
+    print(format_table(
+        ["items", "blocks", "two-pass transfers", "naive transfers", "naive / two-pass"],
+        rows,
+        title="Block transfers: two-pass coarse-grained permutation vs naive Fisher-Yates",
+    ))
+    print("\nThe two-pass algorithm reads and writes every block a constant number")
+    print("of times; the naive shuffle touches a random block per swap and loses")
+    print("exactly the factor the paper attributes to the memory bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

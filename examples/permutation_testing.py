@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Statistical permutation test driven by the coarse-grained shuffler.
+
+The paper lists "statistical tests" and "good generation of random samples"
+among the motivations for fast random permutations.  This example implements
+a classic two-sample permutation test (is the difference of means between
+treatment and control significant?) where the thousands of required
+re-shufflings are produced by the parallel algorithm.
+
+Run with::
+
+    python examples/permutation_testing.py
+"""
+
+import numpy as np
+
+from repro import PROMachine, random_permutation
+
+
+def permutation_test(treatment: np.ndarray, control: np.ndarray, *, rounds: int, machine: PROMachine) -> float:
+    """Two-sided p-value of the difference in means under label permutation."""
+    pooled = np.concatenate([treatment, control])
+    observed = abs(treatment.mean() - control.mean())
+    n_treat = len(treatment)
+    hits = 0
+    for _ in range(rounds):
+        shuffled = random_permutation(pooled, machine=machine)
+        stat = abs(shuffled[:n_treat].mean() - shuffled[n_treat:].mean())
+        if stat >= observed:
+            hits += 1
+    # add-one smoothing keeps the estimate away from an impossible p = 0
+    return (hits + 1) / (rounds + 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    control = rng.normal(loc=10.0, scale=2.0, size=400)
+    treatment_null = rng.normal(loc=10.0, scale=2.0, size=400)       # no effect
+    treatment_effect = rng.normal(loc=10.4, scale=2.0, size=400)     # small real effect
+
+    machine = PROMachine(4, seed=99)
+    rounds = 400
+
+    p_null = permutation_test(treatment_null, control, rounds=rounds, machine=machine)
+    p_effect = permutation_test(treatment_effect, control, rounds=rounds, machine=machine)
+
+    print(f"permutation rounds per test : {rounds}")
+    print(f"p-value, no real effect     : {p_null:.3f}   (should be large)")
+    print(f"p-value, +0.4 mean shift    : {p_effect:.3f}   (should be small)")
+
+    assert p_null > 0.05
+    assert p_effect < 0.05
+    print("\nThe test keeps its level under the null and detects the real effect,")
+    print("so the parallel shuffler is statistically sound enough to drive it.")
+
+
+if __name__ == "__main__":
+    main()

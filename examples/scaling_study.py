@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the paper's Section-6 running-time table.
+
+Two tables are produced:
+
+* the calibrated analytic model's prediction for the paper's own workload
+  (480 million items, 3-48 processors of a 400 MHz Origin), printed next to
+  the paper's measured numbers;
+* a measured table from the real implementation (thread backend) at a size
+  that runs in seconds on a laptop, showing the same qualitative behaviour:
+  an overhead factor of a few over the sequential reference and diminishing
+  returns once the shared memory system saturates.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from repro.bench.paper_claims import PAPER_CLAIMS
+from repro.bench.scaling import (
+    crossover_processors,
+    format_scaling_rows,
+    measured_scaling_table,
+    overhead_factor,
+    predicted_scaling_table,
+)
+
+
+def main() -> None:
+    print("Paper workload, calibrated cost model (T1)")
+    predicted = predicted_scaling_table()
+    print(format_scaling_rows(predicted, seconds_key="predicted_seconds",
+                              title="480e6 items on a 400 MHz Origin (model vs paper)"))
+    print(f"\n  parallel overhead factor : {overhead_factor(predicted):.2f}  "
+          f"(paper: {PAPER_CLAIMS['T1']['overhead_factor_range']})")
+    print(f"  crossover processor count: {crossover_processors(predicted)}  "
+          f"(paper: {PAPER_CLAIMS['T1']['crossover_processors']})")
+
+    print("\nMeasured on this machine (thread backend, NumPy reference)")
+    measured = measured_scaling_table(400_000, proc_counts=(2, 4, 8), repeats=1)
+    print(format_scaling_rows(measured, seconds_key="measured_seconds",
+                              title="400k int64 items, in-process"))
+    print("\nNote: absolute times are not comparable to the paper's hardware;")
+    print("the point of the reproduction is the shape (overhead factor and the")
+    print("diminishing returns of the exchange phase).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on environments whose
+setuptools/pip combination lacks the ``wheel`` package required by the
+PEP 517 editable path (``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

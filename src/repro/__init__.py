@@ -1,0 +1,66 @@
+"""repro -- coarse-grained parallel uniform random permutations.
+
+A production-quality reproduction of Jens Gustedt, *Randomized Permutations
+in a Coarse Grained Parallel Environment* (INRIA RR-4639, 2002 / SPAA 2003).
+
+The library permutes block-distributed data uniformly at random while being
+work-optimal and balanced: every processor touches only ``O(n/p)`` items,
+draws ``O(n/p)`` random variates and communicates ``O(n/p)`` words.  The key
+ingredient is exact sampling of the inter-processor *communication matrix*,
+whose law generalises the multivariate hypergeometric distribution.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import random_permutation
+>>> shuffled = random_permutation(np.arange(12), n_procs=3, seed=42)
+>>> sorted(shuffled.tolist()) == list(range(12))
+True
+
+Package layout
+--------------
+``repro.core``
+    The paper's algorithms (1-6) and the distribution theory of Section 3.
+``repro.pro``
+    The coarse-grained machine substrate (SPMD execution, message passing,
+    cost accounting, topologies).
+``repro.rng``
+    Independent per-processor random streams and variate counting.
+``repro.baselines``
+    Sequential Fisher-Yates and the competing parallel methods the paper
+    compares against (sort-based, dart-throwing, rejection).
+``repro.stats``
+    Statistical validation: uniformity tests and goodness-of-fit of the
+    matrix law.
+``repro.workloads``
+    Input generators used by the examples and benchmarks.
+``repro.bench``
+    The harness that regenerates every table and figure of the paper
+    (see ``EXPERIMENTS.md``).
+"""
+
+from repro.core import (
+    BlockDistribution,
+    permute_distributed,
+    random_permutation,
+    random_permutation_indices,
+    sample_communication_matrix,
+    sample_matrix_parallel,
+)
+from repro.pro import PROMachine
+from repro.rng import CountingRNG, StreamFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockDistribution",
+    "PROMachine",
+    "CountingRNG",
+    "StreamFactory",
+    "permute_distributed",
+    "random_permutation",
+    "random_permutation_indices",
+    "sample_communication_matrix",
+    "sample_matrix_parallel",
+    "__version__",
+]

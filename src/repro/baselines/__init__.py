@@ -1,0 +1,55 @@
+"""Baseline algorithms the paper positions itself against.
+
+Section 1 of the paper argues that no previously known coarse-grained method
+satisfies *uniformity*, *work-optimality* and *balance* simultaneously.  To
+make that comparison concrete (experiment E6) this subpackage implements the
+competing approaches:
+
+* :mod:`repro.baselines.fisher_yates` -- the sequential reference algorithm
+  of the PRO analysis (and the yardstick for the paper's 60-100 cycles/item
+  figure);
+* :mod:`repro.baselines.samplesort` -- a full parallel sample sort substrate
+  (local sort, regular sampling, splitter broadcast, all-to-all partition,
+  local merge);
+* :mod:`repro.baselines.sort_based` -- Goodrich-style permutation by sorting
+  random keys: uniform and balanced, but a ``log n`` factor away from
+  work-optimality;
+* :mod:`repro.baselines.dart_throwing` -- send every item to an independently
+  chosen random processor and shuffle locally: work-optimal and balanced in
+  expectation, but *not* uniform (and not even load-exact), optionally
+  iterated to reduce the bias at a ``log p`` work penalty;
+* :mod:`repro.baselines.rejection` -- dart throwing with rejection until the
+  target layout is hit exactly: uniform and balanced, but the acceptance
+  probability collapses as ``p`` grows, destroying work-optimality.
+"""
+
+from repro.baselines.fisher_yates import (
+    fisher_yates,
+    fisher_yates_inplace,
+    sequential_permutation,
+    per_item_cost,
+)
+from repro.baselines.samplesort import sample_sort_program, parallel_sample_sort
+from repro.baselines.sort_based import sort_based_permutation, sort_based_program
+from repro.baselines.dart_throwing import (
+    dart_throwing_permutation,
+    dart_throwing_program,
+    iterated_dart_throwing,
+)
+from repro.baselines.rejection import rejection_permutation, RejectionStatistics
+
+__all__ = [
+    "fisher_yates",
+    "fisher_yates_inplace",
+    "sequential_permutation",
+    "per_item_cost",
+    "sample_sort_program",
+    "parallel_sample_sort",
+    "sort_based_permutation",
+    "sort_based_program",
+    "dart_throwing_permutation",
+    "dart_throwing_program",
+    "iterated_dart_throwing",
+    "rejection_permutation",
+    "RejectionStatistics",
+]

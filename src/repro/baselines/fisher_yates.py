@@ -1,0 +1,112 @@
+"""Sequential random permutations (the PRO reference algorithm).
+
+The PRO model measures a parallel algorithm against a fixed sequential
+reference; for random permutations that reference is the Fisher-Yates
+(Knuth) shuffle: ``n - 1`` swaps, one random integer each, ``O(n)`` work.
+The paper's introduction measures it at 60-100 clock cycles per item on the
+machines of the time, dominated by random-number generation and cache
+misses -- experiment E5 reproduces the per-item cost measurement on the
+present machine.
+
+Two implementations are provided: a pure-Python Fisher-Yates (used by tests
+that need to count variates exactly and by the per-item cost experiment in
+"interpreted" mode) and a NumPy-backed one (``Generator.permutation``),
+which is what the examples and big benchmarks use.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.rng.streams import default_rng
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "fisher_yates_inplace",
+    "fisher_yates",
+    "sequential_permutation",
+    "per_item_cost",
+]
+
+
+def fisher_yates_inplace(values, rng=None) -> None:
+    """Shuffle ``values`` in place with an explicit Fisher-Yates loop.
+
+    Works on any mutable sequence (lists, NumPy arrays).  Consumes exactly
+    ``len(values) - 1`` random integers.  This is the "textbook" sequential
+    algorithm whose cost the paper uses as the optimality yardstick.
+    """
+    rng = default_rng(rng) if not hasattr(rng, "integers") else rng
+    n = len(values)
+    for i in range(n - 1, 0, -1):
+        j = int(rng.integers(0, i + 1))
+        values[i], values[j] = values[j], values[i]
+
+
+def fisher_yates(values, rng=None) -> np.ndarray:
+    """Return a shuffled copy of ``values`` using the explicit Fisher-Yates loop."""
+    arr = np.array(values, copy=True)
+    fisher_yates_inplace(arr, rng)
+    return arr
+
+
+def sequential_permutation(values, rng=None, *, method: str = "numpy") -> np.ndarray:
+    """Uniformly permute ``values`` sequentially.
+
+    ``method="numpy"`` (default) uses ``Generator.permutation`` (compiled
+    Fisher-Yates); ``method="python"`` uses the interpreted loop.  Both are
+    exact uniform shuffles; they differ only in constant factors, which is
+    the point of experiment E5.
+    """
+    rng = default_rng(rng) if not hasattr(rng, "integers") else rng
+    if method == "numpy":
+        generator = rng.generator if hasattr(rng, "generator") else rng
+        return generator.permutation(np.asarray(values))
+    if method == "python":
+        return fisher_yates(values, rng)
+    raise ValidationError(f"unknown method {method!r}; use 'numpy' or 'python'")
+
+
+def per_item_cost(n_items: int, *, method: str = "numpy", repeats: int = 3, seed=None) -> dict:
+    """Measure the sequential per-item permutation cost on this machine.
+
+    Returns a dictionary with the best-of-``repeats`` wall-clock time, the
+    per-item time in nanoseconds and (when the CPU frequency can be read
+    from ``/proc/cpuinfo``) an approximate cycles-per-item figure comparable
+    to the paper's 60-100 cycles quote.
+    """
+    if n_items <= 0:
+        raise ValidationError(f"n_items must be positive, got {n_items}")
+    rng = default_rng(seed)
+    data = np.arange(n_items, dtype=np.int64)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        sequential_permutation(data, rng, method=method)
+        best = min(best, time.perf_counter() - start)
+    per_item_ns = best / n_items * 1e9
+    result = {
+        "n_items": n_items,
+        "method": method,
+        "seconds": best,
+        "per_item_ns": per_item_ns,
+        "cycles_per_item": None,
+    }
+    freq_hz = _cpu_frequency_hz()
+    if freq_hz:
+        result["cycles_per_item"] = per_item_ns * 1e-9 * freq_hz
+    return result
+
+
+def _cpu_frequency_hz() -> float | None:
+    """Best-effort CPU frequency from /proc/cpuinfo (None when unavailable)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("cpu mhz"):
+                    return float(line.split(":")[1]) * 1e6
+    except (OSError, ValueError, IndexError):
+        return None
+    return None

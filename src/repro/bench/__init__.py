@@ -1,0 +1,47 @@
+"""Benchmark harness shared by ``benchmarks/`` and ``EXPERIMENTS.md``.
+
+Each experiment of the paper (see the experiment index in ``DESIGN.md``) has
+a driver here that produces plain data structures; the pytest-benchmark
+targets under ``benchmarks/`` call these drivers, time what is meaningful to
+time and print the paper-vs-measured tables.
+
+Modules
+-------
+:mod:`repro.bench.harness`
+    Timing helpers and record/report formatting.
+:mod:`repro.bench.paper_claims`
+    The numbers and qualitative claims extracted from the paper.
+:mod:`repro.bench.scaling`
+    Experiment T1 -- the scaling table (sequential vs p = 3..48).
+:mod:`repro.bench.randoms`
+    Experiment E2 -- uniform variates consumed per hypergeometric sample.
+:mod:`repro.bench.figure1`
+    Figure F1 -- the block-layout illustration.
+"""
+
+from repro.bench.harness import BenchRecord, measure_seconds, paper_vs_measured_table
+from repro.bench.paper_claims import PAPER_CLAIMS, PAPER_TABLE1_SECONDS, PAPER_TABLE1_N_ITEMS
+from repro.bench.scaling import (
+    OriginScalingModel,
+    ORIGIN_SCALING_MODEL,
+    predicted_scaling_table,
+    measured_scaling_table,
+)
+from repro.bench.randoms import uniforms_per_h_call
+from repro.bench.figure1 import figure1_layout, render_layout
+
+__all__ = [
+    "BenchRecord",
+    "measure_seconds",
+    "paper_vs_measured_table",
+    "PAPER_CLAIMS",
+    "PAPER_TABLE1_SECONDS",
+    "PAPER_TABLE1_N_ITEMS",
+    "OriginScalingModel",
+    "ORIGIN_SCALING_MODEL",
+    "predicted_scaling_table",
+    "measured_scaling_table",
+    "uniforms_per_h_call",
+    "figure1_layout",
+    "render_layout",
+]

@@ -1,0 +1,94 @@
+"""Figure F1: a vector and a permuted copy distributed on 6 processors.
+
+Figure 1 of the paper is an illustration: a vector ``v`` laid out in blocks
+``m_1 ... m_6`` over processors ``P_1 ... P_6`` and the permuted copy ``v'``
+distributed alike.  The driver here regenerates the underlying data -- the
+block boundaries of source and target and, for every item, which processor
+it started on and which one it ended on -- and renders it as a small text
+figure.  The same data feeds the ``examples/figure1_layout.py`` example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockDistribution
+from repro.core.permutation import permute_distributed
+from repro.pro.machine import PROMachine
+from repro.util.validation import check_positive_int
+
+__all__ = ["figure1_layout", "render_layout"]
+
+
+def figure1_layout(
+    n_items: int = 60,
+    n_procs: int = 6,
+    *,
+    seed=2003,
+    uneven: bool = True,
+) -> dict:
+    """Regenerate the data behind Figure 1.
+
+    Returns a dictionary with the source block sizes, the target block
+    sizes, the per-item source processor of every slot of the permuted
+    vector, and the communication matrix implied by the permutation (how
+    many items moved from each source block to each target block).
+    """
+    n_items = check_positive_int(n_items, "n_items")
+    n_procs = check_positive_int(n_procs, "n_procs")
+    if uneven:
+        distribution = BlockDistribution.random_uneven(n_items, n_procs, seed=seed, min_size=max(1, n_items // (3 * n_procs)))
+    else:
+        distribution = BlockDistribution.balanced(n_items, n_procs)
+
+    # Tag every item with its source processor so the destination layout can
+    # be read off the permuted blocks directly.
+    source_tags = np.concatenate([
+        np.full(int(size), proc, dtype=np.int64) for proc, size in enumerate(distribution.sizes)
+    ]) if n_items else np.empty(0, dtype=np.int64)
+    blocks = distribution.split(source_tags)
+
+    machine = PROMachine(n_procs, seed=seed)
+    permuted_blocks, run = permute_distributed(blocks, machine=machine)
+
+    realized_matrix = np.zeros((n_procs, n_procs), dtype=np.int64)
+    for target_proc, block in enumerate(permuted_blocks):
+        for source_proc in np.asarray(block, dtype=np.int64):
+            realized_matrix[source_proc, target_proc] += 1
+
+    return {
+        "source_sizes": distribution.sizes.copy(),
+        "target_sizes": np.asarray([len(b) for b in permuted_blocks], dtype=np.int64),
+        "permuted_blocks": [np.asarray(b, dtype=np.int64) for b in permuted_blocks],
+        "communication_matrix": realized_matrix,
+        "cost_report": run.cost_report,
+    }
+
+
+def render_layout(layout: dict, *, max_width: int = 100) -> str:
+    """Render the Figure-1 data as a small two-row text figure.
+
+    The first row shows the source vector ``v`` (each cell printed as the id
+    of the processor holding it -- trivially its own block), the second row
+    the permuted copy ``v'`` (each cell printed as the processor the item
+    *came from*), with block boundaries marked by ``|``.
+    """
+    def row(blocks_sizes, labels):
+        cells = []
+        idx = 0
+        for size in blocks_sizes:
+            cells.append("".join(str(int(labels[idx + k]) % 10) for k in range(int(size))))
+            idx += int(size)
+        return "|" + "|".join(cells) + "|"
+
+    source_sizes = layout["source_sizes"]
+    source_labels = np.concatenate([
+        np.full(int(size), proc) for proc, size in enumerate(source_sizes)
+    ]) if int(np.sum(source_sizes)) else np.empty(0, dtype=np.int64)
+    target_labels = np.concatenate(layout["permuted_blocks"]) if layout["permuted_blocks"] else np.empty(0, dtype=np.int64)
+
+    lines = [
+        "v  (cell = owning processor): " + row(source_sizes, source_labels),
+        "v' (cell = source processor): " + row(layout["target_sizes"], target_labels),
+    ]
+    return "\n".join(line[:max_width] for line in lines)

@@ -1,0 +1,62 @@
+"""Timing helpers and report formatting for the benchmark drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.util.tables import format_markdown_table, format_table
+from repro.util.validation import check_positive_int
+
+__all__ = ["measure_seconds", "BenchRecord", "paper_vs_measured_table"]
+
+
+def measure_seconds(fn: Callable, *args, repeats: int = 3, **kwargs) -> dict:
+    """Run ``fn(*args, **kwargs)`` ``repeats`` times; report best/mean seconds.
+
+    The *best* time is the right statistic for throughput comparisons (it is
+    the least noisy estimator of the cost without interference); the mean is
+    reported as well for context.
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        times.append(time.perf_counter() - start)
+    return {
+        "best_seconds": min(times),
+        "mean_seconds": sum(times) / len(times),
+        "repeats": repeats,
+        "result": result,
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One row of a paper-vs-measured comparison."""
+
+    label: str
+    paper_value: object
+    measured_value: object
+    unit: str = ""
+    note: str = ""
+
+    def as_row(self) -> list:
+        return [self.label, self.paper_value, self.measured_value, self.unit, self.note]
+
+
+def paper_vs_measured_table(
+    records: Iterable[BenchRecord],
+    *,
+    title: str | None = None,
+    markdown: bool = False,
+) -> str:
+    """Render a list of :class:`BenchRecord` as an aligned (or Markdown) table."""
+    headers = ["quantity", "paper", "measured", "unit", "note"]
+    rows = [rec.as_row() for rec in records]
+    if markdown:
+        return format_markdown_table(headers, rows)
+    return format_table(headers, rows, title=title)

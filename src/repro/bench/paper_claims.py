@@ -1,0 +1,59 @@
+"""The paper's reported numbers and qualitative claims, in one place.
+
+Keeping them as data (rather than scattering literals through the
+benchmarks) lets every benchmark print a paper-vs-measured table from the
+same source and lets ``EXPERIMENTS.md`` stay consistent with the code.
+"""
+
+from __future__ import annotations
+
+#: Section 6: running times for permuting 480 million items on a 400 MHz SGI
+#: Origin.  Key ``0`` denotes the sequential run.
+PAPER_TABLE1_SECONDS: dict[int, float] = {
+    0: 137.0,   # sequential
+    3: 210.0,
+    6: 107.0,
+    12: 72.9,
+    24: 60.9,
+    48: 53.2,
+}
+
+#: Number of items of the Section 6 experiments.
+PAPER_TABLE1_N_ITEMS: int = 480_000_000
+
+#: Qualitative claims, keyed by experiment id (see DESIGN.md).
+PAPER_CLAIMS: dict[str, dict] = {
+    "T1": {
+        "statement": "Parallel overhead factor 3-5 over sequential; speed-up beyond ~6 processors and continued gains up to 48.",
+        "overhead_factor_range": (3.0, 5.0),
+        "crossover_processors": 6,
+        "table_seconds": PAPER_TABLE1_SECONDS,
+        "n_items": PAPER_TABLE1_N_ITEMS,
+    },
+    "E2": {
+        "statement": "Random numbers per h(,) sample: always < 1.5 on average, <= 10 worst case.",
+        "mean_uniforms_max": 1.5,
+        "worst_case_uniforms": 10,
+    },
+    "E3": {
+        "statement": "Sequential matrix sampling costs O(p^2) operations and O(p^2) h(,) calls (Proposition 7 / Theorem 2).",
+        "exponent": 2.0,
+    },
+    "E4": {
+        "statement": "Algorithm 5 costs Theta(p log p) per processor, Algorithm 6 Theta(p) per processor (Propositions 8 and 9).",
+    },
+    "E5": {
+        "statement": "Sequential permutation costs 60-100 cycles per item; 33%-80% of the wall clock is the CPU-memory bottleneck.",
+        "cycles_per_item_range": (60.0, 100.0),
+    },
+    "E6": {
+        "statement": "No prior coarse-grained method is simultaneously uniform, work-optimal and balanced: sorting pays a log n factor, iterating pays a log p factor, rejection loses work-optimality.",
+    },
+    "E7": {
+        "statement": "Algorithm 1 with a matrix drawn per Problem 2 samples permutations uniformly (Theorem 1, Propositions 1-2).",
+    },
+    "F1": {
+        "statement": "Figure 1: a vector and a permuted copy distributed on 6 processors.",
+        "n_processors": 6,
+    },
+}

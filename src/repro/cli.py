@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+The CLI wraps the most common library entry points so that the reproduction
+can be exercised without writing Python::
+
+    python -m repro permute --n 1000000 --procs 8 --seed 42
+    python -m repro matrix --sizes 250,250,250,250 --algorithm alg6
+    python -m repro scaling --paper
+    python -m repro uniformity --n 4 --procs 2 --samples 5000
+    python -m repro randoms --procs 16 --items-per-proc 2000
+
+Every sub-command prints a short plain-text report; ``--help`` on any
+sub-command documents its options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coarse-grained parallel uniform random permutations "
+                    "(reproduction of Gustedt, RR-4639 / SPAA 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
+    permute.add_argument("--n", type=int, required=True, help="number of items")
+    permute.add_argument("--procs", type=int, default=4, help="number of virtual processors")
+    permute.add_argument("--seed", type=int, default=None, help="machine seed")
+    permute.add_argument("--matrix-algorithm", choices=["root", "alg5", "alg6"], default="root")
+    permute.add_argument("--head", type=int, default=10, help="how many output items to print")
+
+    matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
+    matrix.add_argument("--sizes", type=str, required=True,
+                        help="comma-separated source block sizes, e.g. 10,10,10")
+    matrix.add_argument("--target-sizes", type=str, default=None,
+                        help="comma-separated target block sizes (default: same as --sizes)")
+    matrix.add_argument("--algorithm", choices=["sequential", "recursive", "alg5", "alg6", "root"],
+                        default="sequential")
+    matrix.add_argument("--seed", type=int, default=None)
+
+    scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
+    scaling.add_argument("--paper", action="store_true",
+                         help="print the calibrated-model table for the paper's 480e6-item workload")
+    scaling.add_argument("--measure", type=int, default=None, metavar="N",
+                         help="measure the real implementation on N items on this machine")
+    scaling.add_argument("--procs", type=str, default="2,4,8",
+                         help="comma-separated processor counts for --measure")
+
+    uniformity = sub.add_parser("uniformity", help="chi-square uniformity test of the parallel permutation")
+    uniformity.add_argument("--n", type=int, default=4, help="permutation size (<= 8 for the exhaustive test)")
+    uniformity.add_argument("--procs", type=int, default=2)
+    uniformity.add_argument("--samples", type=int, default=5000)
+    uniformity.add_argument("--seed", type=int, default=0)
+
+    randoms = sub.add_parser("randoms", help="uniform variates per h(,) call during matrix sampling (experiment E2)")
+    randoms.add_argument("--procs", type=int, default=16)
+    randoms.add_argument("--items-per-proc", type=int, default=2000)
+    randoms.add_argument("--matrices", type=int, default=5)
+    randoms.add_argument("--method", choices=["auto", "hin", "hrua"], default="auto")
+    randoms.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def _parse_sizes(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip() != ""]
+
+
+def _cmd_permute(args) -> int:
+    from repro.core.permutation import random_permutation
+    from repro.core.blocks import BlockDistribution
+    from repro.core.permutation import permute_distributed
+    from repro.pro.machine import PROMachine
+
+    machine = PROMachine(args.procs, seed=args.seed, count_random_variates=True)
+    data = np.arange(args.n, dtype=np.int64)
+    blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
+    out_blocks, run = permute_distributed(blocks, machine=machine, matrix_algorithm=args.matrix_algorithm)
+    out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)
+    print(f"permuted {args.n} items on {args.procs} virtual processors "
+          f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, in-process)")
+    print(f"first {min(args.head, args.n)} output items: {out[:args.head].tolist()}")
+    print(run.cost_report.summary_table())
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.core.api import sample_communication_matrix
+
+    sizes = _parse_sizes(args.sizes)
+    targets = _parse_sizes(args.target_sizes) if args.target_sizes else None
+    parallel = args.algorithm in ("alg5", "alg6", "root")
+    matrix = sample_communication_matrix(
+        sizes, targets, parallel=parallel,
+        algorithm=args.algorithm if args.algorithm != "sequential" or parallel else None,
+        seed=args.seed,
+    )
+    print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "
+          f"algorithm={args.algorithm}")
+    for row in matrix:
+        print("  " + " ".join(f"{int(v):6d}" for v in row))
+    print(f"row sums   : {matrix.sum(axis=1).tolist()}")
+    print(f"column sums: {matrix.sum(axis=0).tolist()}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.bench.scaling import (
+        crossover_processors,
+        format_scaling_rows,
+        measured_scaling_table,
+        overhead_factor,
+        predicted_scaling_table,
+    )
+
+    did_something = False
+    if args.paper or args.measure is None:
+        rows = predicted_scaling_table()
+        print(format_scaling_rows(rows, seconds_key="predicted_seconds",
+                                  title="Calibrated model vs the paper's table (480e6 items)"))
+        print(f"overhead factor: {overhead_factor(rows):.2f}; "
+              f"crossover at p = {crossover_processors(rows)}")
+        did_something = True
+    if args.measure is not None:
+        procs = _parse_sizes(args.procs)
+        rows = measured_scaling_table(args.measure, proc_counts=procs, repeats=1)
+        print(format_scaling_rows(rows, seconds_key="measured_seconds",
+                                  title=f"Measured on this machine ({args.measure} items)"))
+        did_something = True
+    return 0 if did_something else 1
+
+
+def _cmd_uniformity(args) -> int:
+    from repro.core.permutation import random_permutation_indices
+    from repro.pro.machine import PROMachine
+    from repro.stats.uniformity import chi_square_permutation_uniformity, position_occupancy_test
+
+    machine = PROMachine(args.procs, seed=args.seed)
+    sampler = lambda: random_permutation_indices(args.n, machine=machine)
+    if args.n <= 8:
+        result = chi_square_permutation_uniformity(sampler, args.n, args.samples)
+        kind = f"exhaustive over {args.n}! permutations"
+    else:
+        result = position_occupancy_test(sampler, args.n, args.samples)
+        kind = "item/position occupancy"
+    print(f"uniformity test ({kind}), {args.samples} samples, "
+          f"n={args.n}, p={args.procs}")
+    print(f"chi2 = {result.statistic:.1f} on {result.degrees_of_freedom} dof, "
+          f"p-value = {result.p_value:.4f}")
+    print("uniformity " + ("NOT rejected" if result.p_value > 0.001 else "REJECTED"))
+    return 0 if result.p_value > 0.001 else 2
+
+
+def _cmd_randoms(args) -> int:
+    from repro.bench.randoms import uniforms_per_h_call
+
+    result = uniforms_per_h_call(
+        args.procs, args.items_per_proc, n_matrices=args.matrices,
+        method=args.method, seed=args.seed,
+    )
+    print(f"matrix sampling with p={args.procs}, m={args.items_per_proc}, "
+          f"{args.matrices} matrices, method={args.method}")
+    print(f"h(,) calls          : {result['n_calls']}")
+    print(f"uniforms per call   : mean {result['mean_uniforms']:.2f}, worst {result['max_uniforms']}")
+    print("paper (Section 6)   : mean < 1.5, worst <= 10 (Zechner's HRUE sampler)")
+    return 0
+
+
+_COMMANDS = {
+    "permute": _cmd_permute,
+    "matrix": _cmd_matrix,
+    "scaling": _cmd_scaling,
+    "uniformity": _cmd_uniformity,
+    "randoms": _cmd_randoms,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through __main__.py
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: uniform random permutations in a coarse grained setting.
+
+Modules
+-------
+:mod:`repro.core.blocks`
+    Block distributions of a vector over processors (Figure 1 of the paper).
+:mod:`repro.core.hypergeometric`
+    The univariate hypergeometric distribution ``h(t, w, b)``: exact pmf and
+    the HIN / HRUA* samplers (Section 3).
+:mod:`repro.core.multivariate`
+    The multivariate hypergeometric distribution and Algorithm 2.
+:mod:`repro.core.commmatrix`
+    Sequential sampling of the communication matrix (Algorithms 3 and 4).
+:mod:`repro.core.matrix_distribution`
+    The exact law of the communication matrix and its structural properties
+    (Propositions 3-6).
+:mod:`repro.core.parallel_matrix`
+    Parallel sampling of the communication matrix (Algorithms 5 and 6,
+    Theorem 2).
+:mod:`repro.core.permutation`
+    Algorithm 1 -- the full coarse-grained uniform random permutation
+    (Theorem 1).
+:mod:`repro.core.api`
+    Convenience wrappers re-exported at the package top level.
+"""
+
+from repro.core.api import sample_communication_matrix
+from repro.core.blocks import BlockDistribution
+from repro.core.commmatrix import (
+    check_matrix,
+    is_valid_communication_matrix,
+    sample_matrix,
+    sample_matrix_recursive,
+    sample_matrix_sequential,
+)
+from repro.core.parallel_matrix import (
+    algorithm5_program,
+    algorithm6_program,
+    root_scatter_program,
+    sample_matrix_parallel,
+)
+from repro.core.permutation import (
+    parallel_permutation_program,
+    permute_distributed,
+    random_permutation,
+    random_permutation_indices,
+)
+
+__all__ = [
+    "BlockDistribution",
+    "sample_communication_matrix",
+    "sample_matrix",
+    "sample_matrix_sequential",
+    "sample_matrix_recursive",
+    "is_valid_communication_matrix",
+    "check_matrix",
+    "algorithm5_program",
+    "algorithm6_program",
+    "root_scatter_program",
+    "sample_matrix_parallel",
+    "parallel_permutation_program",
+    "permute_distributed",
+    "random_permutation",
+    "random_permutation_indices",
+]

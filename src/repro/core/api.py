@@ -1,0 +1,92 @@
+"""High-level public API of the reproduction.
+
+Most users need only three calls:
+
+* :func:`repro.core.permutation.random_permutation` -- permute an in-memory
+  vector uniformly at random with the coarse-grained algorithm;
+* :func:`repro.core.permutation.permute_distributed` -- permute an already
+  block-distributed vector, keeping it distributed;
+* :func:`sample_communication_matrix` -- sample the communication matrix of
+  Problem 2 on its own (the distribution studied in Section 3 of the paper),
+  either sequentially or on a PRO machine.
+
+Everything else (the individual samplers, the machine substrate, the
+baselines, the statistics) is available from the corresponding subpackages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import commmatrix
+from repro.core.parallel_matrix import sample_matrix_parallel
+from repro.pro.machine import PROMachine
+from repro.util.errors import ValidationError
+
+__all__ = ["sample_communication_matrix"]
+
+
+def sample_communication_matrix(
+    row_sums,
+    col_sums=None,
+    *,
+    parallel: bool = False,
+    machine: PROMachine | None = None,
+    algorithm: str | None = None,
+    seed=None,
+    rng=None,
+    method: str = "auto",
+) -> np.ndarray:
+    """Sample a random communication matrix with the prescribed marginals.
+
+    Parameters
+    ----------
+    row_sums, col_sums:
+        Source and target block sizes (``col_sums`` defaults to
+        ``row_sums``).  The matrix has ``len(row_sums)`` rows and
+        ``len(col_sums)`` columns, row sums equal to ``row_sums`` and column
+        sums equal to ``col_sums``, drawn from the exact law a uniform
+        permutation induces (Problem 2 of the paper).
+    parallel:
+        When False (default) sample sequentially in the calling process
+        (Algorithm 3 / 4 according to ``algorithm``); when True run one of
+        the parallel algorithms on a PRO machine.
+    machine:
+        Machine to use for the parallel path (one is created when omitted).
+    algorithm:
+        Sequential path: ``"sequential"`` (default) or ``"recursive"``.
+        Parallel path: ``"alg5"``, ``"alg6"`` (default) or ``"root"``.
+    seed, rng:
+        ``rng`` (a generator) is used for the sequential path; ``seed``
+        seeds the machine (parallel) or a fresh generator (sequential,
+        when ``rng`` is not given).
+    method:
+        Hypergeometric sampling method (``"auto"``, ``"hin"``, ``"hrua"``,
+        ``"numpy"``).
+
+    Returns
+    -------
+    numpy.ndarray
+        The sampled matrix (``int64``).
+    """
+    if not parallel:
+        strategy = algorithm or "sequential"
+        if strategy not in ("sequential", "recursive"):
+            raise ValidationError(
+                f"sequential sampling supports 'sequential' or 'recursive', got {strategy!r}"
+            )
+        generator = rng if rng is not None else seed
+        return commmatrix.sample_matrix(
+            row_sums, col_sums if col_sums is not None else row_sums,
+            generator, method=method, strategy=strategy,
+        )
+    parallel_algorithm = algorithm or "alg6"
+    matrix, _ = sample_matrix_parallel(
+        row_sums,
+        col_sums,
+        machine=machine,
+        algorithm=parallel_algorithm,
+        seed=seed,
+        method=method,
+    )
+    return matrix

@@ -1,0 +1,292 @@
+"""Parallel sampling of the communication matrix (Algorithms 5 and 6).
+
+Both algorithms run as SPMD programs on a :class:`~repro.pro.PROMachine`
+with ``p`` processors and produce, on every processor ``P_i``, the ``i``-th
+row of a communication matrix drawn from the exact law of Problem 2.  They
+differ in their per-processor cost:
+
+``algorithm5_program``
+    The paper's Algorithm 5.  The processor range is halved repeatedly; at
+    every split the *head* of the range samples how the current column
+    capacities divide between the two halves (one multivariate
+    hypergeometric draw over a length-``p'`` vector) and ships the upper
+    half's share to the new head.  Every split moves ``Theta(p')`` words and
+    performs ``Theta(p')`` work on the head, and a processor participates in
+    ``Theta(log p)`` splits, giving ``Theta(p log p)`` time, communication
+    and ``h(,)`` calls per processor (Proposition 8) -- a log factor away
+    from optimal.
+
+``algorithm6_program``
+    The paper's Algorithm 6.  The matrix is split along *alternating*
+    dimensions (rows, then columns, then rows, ...) while the processor
+    range is halved, so the marginal vectors a head handles shrink
+    geometrically.  After ``log p`` rounds every processor owns the row- and
+    column-marginals of a roughly ``sqrt(p) x sqrt(p)`` tile, samples that
+    tile sequentially (Section 4) and a final redistribution hands row ``i``
+    to processor ``P_i``.  Total cost ``Theta(p)`` per processor
+    (Proposition 9) -- the optimal grain claimed by Theorem 2.
+
+A root-based program (``root_scatter_program``) is also provided: processor
+0 samples the whole matrix with Algorithm 3 and scatters the rows.  That is
+what the paper's own experiments used (Section 6: "Part of the algorithms
+(sequential sampling of the matrix, only) were implemented") and it is the
+right choice when ``p^2`` is negligible compared to ``n/p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import commmatrix, multivariate
+from repro.pro.machine import PROMachine, ProcessorContext, RunResult
+from repro.util.errors import ValidationError
+from repro.util.validation import check_same_total, check_vector_of_nonnegative_ints
+
+__all__ = [
+    "algorithm5_program",
+    "algorithm6_program",
+    "root_scatter_program",
+    "final_tile_ranges",
+    "sample_matrix_parallel",
+    "MATRIX_ALGORITHMS",
+]
+
+
+def _validate_inputs(ctx: ProcessorContext, row_sums, col_sums) -> tuple[np.ndarray, np.ndarray]:
+    rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
+    cols = check_vector_of_nonnegative_ints(col_sums, "col_sums")
+    check_same_total(rows, cols, "row_sums", "col_sums")
+    if rows.size != ctx.n_procs:
+        raise ValidationError(
+            f"row_sums must have one entry per processor ({ctx.n_procs}), got {rows.size}"
+        )
+    return rows, cols
+
+
+# ----------------------------------------------------------------------------
+# Algorithm 5: head-splitting with a log factor
+# ----------------------------------------------------------------------------
+def algorithm5_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+    """SPMD program: return row ``ctx.rank`` of a random communication matrix.
+
+    Implements Algorithm 5 of the paper.  ``row_sums`` must have length
+    ``ctx.n_procs`` (one source block per processor); ``col_sums`` may have
+    any length ``p'``.  Only the *values* on processor ``ctx.rank`` are used
+    for the processor's own decisions, but every processor is given the full
+    (O(p)-sized) marginal vectors, as the PRO model permits.
+    """
+    rows, cols = _validate_inputs(ctx, row_sums, col_sums)
+    rank, p = ctx.rank, ctx.n_procs
+
+    beta = cols.copy() if rank == 0 else None
+    low, high = 0, p
+    iteration = 0
+    while high - low > 1:
+        mid = (low + high) // 2
+        if rank == low:
+            # Mass of the upper half of the processor range [mid, high).
+            upper_mass = int(rows[mid:high].sum())
+            to_up = multivariate.sample_sequential(upper_mass, beta, ctx.rng, method=method)
+            ctx.comm.send(to_up, mid, tag=("alg5", iteration))
+            beta = beta - to_up
+            ctx.log_compute(beta.size)
+        elif rank == mid:
+            beta = ctx.comm.recv(low, tag=("alg5", iteration))
+            ctx.log_compute(beta.size)
+        if rank >= mid:
+            low = mid
+        else:
+            high = mid
+        iteration += 1
+
+    # beta now holds the column capacities reserved for the singleton range
+    # {rank}, i.e. the rank-th row of the matrix.
+    return beta
+
+
+# ----------------------------------------------------------------------------
+# Algorithm 6: alternating-dimension splitting, optimal grain
+# ----------------------------------------------------------------------------
+def final_tile_ranges(n_procs: int, n_rows: int, n_cols: int) -> list[tuple[int, int, int, int]]:
+    """Tile ``(row_lo, row_hi, col_lo, col_hi)`` each processor ends up with.
+
+    The splitting pattern of Algorithm 6 is deterministic (only the sampled
+    *values* are random), so every processor can recompute everybody's final
+    tile locally; the redistribution step uses this to know exactly whom to
+    expect data from.
+    """
+    tiles = []
+    for rank in range(n_procs):
+        low, high = 0, n_procs
+        dim_lo = [0, 0]
+        dim_hi = [n_rows, n_cols]
+        split_dim = 0
+        while high - low > 1:
+            mid = (low + high) // 2
+            dim_mid = (dim_lo[split_dim] + dim_hi[split_dim]) // 2
+            if rank >= mid:
+                low = mid
+                dim_lo[split_dim] = dim_mid
+            else:
+                high = mid
+                dim_hi[split_dim] = dim_mid
+            split_dim = 1 - split_dim
+        tiles.append((dim_lo[0], dim_hi[0], dim_lo[1], dim_hi[1]))
+    return tiles
+
+
+def algorithm6_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+    """SPMD program: return row ``ctx.rank`` of a random communication matrix.
+
+    Implements Algorithm 6 of the paper: alternating-dimension splitting of
+    the marginals (steps 1-2), sequential sampling of the resulting tile
+    (step 3) and redistribution of the rows to their owners (step 4).
+    """
+    rows, cols = _validate_inputs(ctx, row_sums, col_sums)
+    rank, p = ctx.rank, ctx.n_procs
+
+    # beta[d] is the marginal vector of dimension d (0 = rows, 1 = columns)
+    # restricted to this processor's current range of that dimension; only
+    # the head of a processor range holds actual data.
+    beta: list[np.ndarray | None] = [None, None]
+    if rank == 0:
+        beta[0] = rows.copy()
+        beta[1] = cols.copy()
+
+    split_dim, other_dim = 0, 1  # the paper's Delta and Nabla
+    low, high = 0, p
+    dim_lo = [0, 0]
+    dim_hi = [rows.size, cols.size]
+    iteration = 0
+
+    while high - low > 1:
+        mid = (low + high) // 2
+        dim_mid = (dim_lo[split_dim] + dim_hi[split_dim]) // 2
+        if rank == low:
+            offset = dim_mid - dim_lo[split_dim]
+            upper_marginals = beta[split_dim][offset:]
+            upper_mass = int(upper_marginals.sum())
+            ctx.comm.send(upper_marginals, mid, tag=("alg6-delta", iteration))
+            to_up = multivariate.sample_sequential(
+                upper_mass, beta[other_dim], ctx.rng, method=method
+            )
+            ctx.comm.send(to_up, mid, tag=("alg6-nabla", iteration))
+            beta[other_dim] = beta[other_dim] - to_up
+            beta[split_dim] = beta[split_dim][:offset]
+            ctx.log_compute(upper_marginals.size + to_up.size)
+        elif rank == mid:
+            beta[split_dim] = ctx.comm.recv(low, tag=("alg6-delta", iteration))
+            beta[other_dim] = ctx.comm.recv(low, tag=("alg6-nabla", iteration))
+            ctx.log_compute(beta[split_dim].size + beta[other_dim].size)
+        if rank >= mid:
+            low = mid
+            dim_lo[split_dim] = dim_mid
+        else:
+            high = mid
+            dim_hi[split_dim] = dim_mid
+        split_dim, other_dim = other_dim, split_dim
+        iteration += 1
+
+    # Step 3: sample this processor's tile sequentially from its marginals.
+    row_lo, row_hi = dim_lo[0], dim_hi[0]
+    col_lo, col_hi = dim_lo[1], dim_hi[1]
+    if beta[0] is None:
+        beta[0] = np.zeros(row_hi - row_lo, dtype=np.int64)
+    if beta[1] is None:
+        beta[1] = np.zeros(col_hi - col_lo, dtype=np.int64)
+    tile = commmatrix.sample_matrix_sequential(beta[0], beta[1], ctx.rng, method=method)
+    ctx.log_compute(tile.size)
+
+    # Step 4: redistribute so that processor i receives the full row i.
+    tiles = final_tile_ranges(p, rows.size, cols.size)
+    for dest in range(row_lo, row_hi):
+        ctx.comm.send(
+            (col_lo, tile[dest - row_lo, :]), dest, tag=("alg6-redist", 0)
+        )
+    my_row = np.zeros(cols.size, dtype=np.int64)
+    for owner, (r_lo, r_hi, c_lo, c_hi) in enumerate(tiles):
+        if r_lo <= rank < r_hi:
+            col_offset, piece = ctx.comm.recv(owner, tag=("alg6-redist", 0))
+            my_row[col_offset:col_offset + piece.size] = piece
+    return my_row
+
+
+# ----------------------------------------------------------------------------
+# Root-based sampling (what the paper's experiments used)
+# ----------------------------------------------------------------------------
+def root_scatter_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+    """SPMD program: processor 0 samples the whole matrix, rows are scattered.
+
+    Per-processor cost ``O(p^2)`` on the root and ``O(p)`` elsewhere; fine as
+    long as ``p^2`` is small compared with the local data size ``n / p``
+    (exactly the regime of the paper's experiments).
+    """
+    rows, cols = _validate_inputs(ctx, row_sums, col_sums)
+    if ctx.rank == 0:
+        matrix = commmatrix.sample_matrix_sequential(rows, cols, ctx.rng, method=method)
+        ctx.log_compute(matrix.size)
+        row_payloads = [matrix[i, :] for i in range(ctx.n_procs)]
+    else:
+        row_payloads = None
+    return ctx.comm.scatter(row_payloads, root=0)
+
+
+MATRIX_ALGORITHMS = {
+    "alg5": algorithm5_program,
+    "alg6": algorithm6_program,
+    "root": root_scatter_program,
+}
+
+
+# ----------------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------------
+def sample_matrix_parallel(
+    row_sums,
+    col_sums=None,
+    *,
+    machine: PROMachine | None = None,
+    algorithm: str = "alg6",
+    seed=None,
+    method: str = "auto",
+) -> tuple[np.ndarray, RunResult]:
+    """Sample a communication matrix on a PRO machine and assemble it.
+
+    Parameters
+    ----------
+    row_sums:
+        Source block sizes; their number fixes the number of processors
+        (one source block per processor).
+    col_sums:
+        Target block sizes (defaults to ``row_sums``).
+    machine:
+        Optional pre-configured :class:`~repro.pro.PROMachine`; when omitted
+        a thread-backed machine with ``len(row_sums)`` processors is built.
+    algorithm:
+        ``"alg5"``, ``"alg6"`` (default) or ``"root"``.
+    seed:
+        Machine seed used when ``machine`` is omitted.
+
+    Returns
+    -------
+    (matrix, run_result):
+        The assembled ``p x p'`` matrix and the
+        :class:`~repro.pro.machine.RunResult` with per-processor costs.
+    """
+    rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
+    cols = rows if col_sums is None else check_vector_of_nonnegative_ints(col_sums, "col_sums")
+    check_same_total(rows, cols, "row_sums", "col_sums")
+    if algorithm not in MATRIX_ALGORITHMS:
+        raise ValidationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(MATRIX_ALGORITHMS)}"
+        )
+    if machine is None:
+        machine = PROMachine(rows.size, seed=seed)
+    if machine.n_procs != rows.size:
+        raise ValidationError(
+            f"machine has {machine.n_procs} processors but row_sums has {rows.size} entries"
+        )
+    program = MATRIX_ALGORITHMS[algorithm]
+    run = machine.run(program, rows, cols, method=method)
+    matrix = np.vstack([np.asarray(row, dtype=np.int64) for row in run.results])
+    return matrix, run

@@ -1,0 +1,46 @@
+"""External-memory random permutations (the paper's outlook, Section 6).
+
+The paper closes by observing that coarse-grained algorithms translate to
+the external-memory / cache-conscious setting (citing Cormen & Goodrich 1996
+and Dehne, Dittrich & Hutchinson 1997): the blocks of the coarse-grained
+machine become disk blocks (or cache lines), and the all-to-all exchange
+becomes two sequential passes over the data -- avoiding the cache misses of
+the straightforward Fisher-Yates, whose memory accesses are essentially
+random.
+
+This subpackage realises that idea:
+
+* :mod:`repro.extmem.blockstore` -- block-granular storage with exact I/O
+  accounting: an in-memory store for tests and a file-backed store that
+  keeps one ``.npy`` file per block, plus an LRU cache wrapper that models a
+  small fast memory in front of either;
+* :mod:`repro.extmem.permutation` -- the two-pass external permutation built
+  on communication-matrix sampling, and the naive random-access permutation
+  it is compared against.
+
+The accompanying benchmark (``benchmarks/bench_external_memory.py``) shows
+the block-transfer counts: ``O(n/B)`` for the two-pass algorithm versus
+``~n`` cache misses for the naive one once the data exceeds the cache.
+"""
+
+from repro.extmem.blockstore import (
+    BlockStore,
+    CachedBlockStore,
+    FileBlockStore,
+    IOStatistics,
+    MemoryBlockStore,
+)
+from repro.extmem.permutation import (
+    external_random_permutation,
+    naive_external_permutation,
+)
+
+__all__ = [
+    "BlockStore",
+    "MemoryBlockStore",
+    "FileBlockStore",
+    "CachedBlockStore",
+    "IOStatistics",
+    "external_random_permutation",
+    "naive_external_permutation",
+]

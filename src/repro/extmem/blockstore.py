@@ -1,0 +1,234 @@
+"""Block-granular storage with exact I/O accounting.
+
+External-memory algorithms are analysed in the number of *block transfers*
+between a small fast memory and a large slow one (the I/O model of Aggarwal
+and Vitter).  The stores below expose exactly that interface -- read a whole
+block, write a whole block -- and count every transfer, so the benchmarks
+can report block-transfer numbers instead of noisy wall-clock times.
+
+Three implementations:
+
+* :class:`MemoryBlockStore` -- blocks live in a dictionary; the "disk" is
+  simulated.  Fast, used by tests and benchmarks.
+* :class:`FileBlockStore` -- one ``.npy`` file per block inside a directory;
+  a real out-of-core store for data sets that genuinely do not fit in RAM.
+* :class:`CachedBlockStore` -- an LRU cache of a fixed number of blocks in
+  front of any other store; models the fast memory and counts hits/misses.
+  The naive random-access permutation run through a small cache is exactly
+  the "cache misses of the straightforward algorithm" the paper refers to.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "IOStatistics",
+    "BlockStore",
+    "MemoryBlockStore",
+    "FileBlockStore",
+    "CachedBlockStore",
+]
+
+
+@dataclass
+class IOStatistics:
+    """Counters of block transfers performed by a store."""
+
+    blocks_read: int = 0
+    blocks_written: int = 0
+    words_read: int = 0
+    words_written: int = 0
+
+    @property
+    def total_block_transfers(self) -> int:
+        """Reads plus writes -- the I/O-model cost."""
+        return self.blocks_read + self.blocks_written
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.words_read = 0
+        self.words_written = 0
+
+
+class BlockStore(ABC):
+    """Abstract block-granular storage."""
+
+    def __init__(self):
+        self.io = IOStatistics()
+
+    # -- interface ---------------------------------------------------------
+    @abstractmethod
+    def _read(self, block_id: int) -> np.ndarray:
+        """Fetch a block from the backing storage (no accounting)."""
+
+    @abstractmethod
+    def _write(self, block_id: int, values: np.ndarray) -> None:
+        """Store a block in the backing storage (no accounting)."""
+
+    @abstractmethod
+    def block_ids(self) -> list[int]:
+        """All block ids currently present, sorted."""
+
+    def has_block(self, block_id: int) -> bool:
+        """True when ``block_id`` is present."""
+        return block_id in set(self.block_ids())
+
+    # -- accounted operations ----------------------------------------------
+    def read_block(self, block_id: int) -> np.ndarray:
+        """Read one block, counting the transfer."""
+        block_id = check_nonnegative_int(block_id, "block_id")
+        values = self._read(block_id)
+        self.io.blocks_read += 1
+        self.io.words_read += int(values.size)
+        return values
+
+    def write_block(self, block_id: int, values) -> None:
+        """Write one block, counting the transfer."""
+        block_id = check_nonnegative_int(block_id, "block_id")
+        arr = np.asarray(values)
+        self._write(block_id, arr)
+        self.io.blocks_written += 1
+        self.io.words_written += int(arr.size)
+
+    # -- convenience ----------------------------------------------------------
+    def total_items(self) -> int:
+        """Total number of items over all blocks (reads bypass accounting)."""
+        return int(sum(self._read(block_id).size for block_id in self.block_ids()))
+
+    def load_vector(self, values, block_size: int) -> None:
+        """Split an in-memory vector into blocks of ``block_size`` and store them."""
+        block_size = check_positive_int(block_size, "block_size")
+        arr = np.asarray(values)
+        n_blocks = int(np.ceil(arr.shape[0] / block_size)) if arr.shape[0] else 0
+        for block_id in range(n_blocks):
+            self.write_block(block_id, arr[block_id * block_size:(block_id + 1) * block_size])
+
+    def dump_vector(self) -> np.ndarray:
+        """Concatenate all blocks in id order (counting the reads)."""
+        ids = self.block_ids()
+        if not ids:
+            return np.empty(0)
+        return np.concatenate([self.read_block(block_id) for block_id in ids])
+
+
+class MemoryBlockStore(BlockStore):
+    """Blocks kept in a dictionary -- a simulated disk with exact accounting."""
+
+    def __init__(self):
+        super().__init__()
+        self._blocks: dict[int, np.ndarray] = {}
+
+    def _read(self, block_id: int) -> np.ndarray:
+        if block_id not in self._blocks:
+            raise ValidationError(f"block {block_id} does not exist")
+        return self._blocks[block_id]
+
+    def _write(self, block_id: int, values: np.ndarray) -> None:
+        self._blocks[block_id] = np.array(values, copy=True)
+
+    def block_ids(self) -> list[int]:
+        return sorted(self._blocks)
+
+
+class FileBlockStore(BlockStore):
+    """One ``.npy`` file per block inside a directory."""
+
+    def __init__(self, directory: str):
+        super().__init__()
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, block_id: int) -> str:
+        return os.path.join(self.directory, f"block_{block_id:08d}.npy")
+
+    def _read(self, block_id: int) -> np.ndarray:
+        path = self._path(block_id)
+        if not os.path.exists(path):
+            raise ValidationError(f"block {block_id} does not exist in {self.directory}")
+        return np.load(path, allow_pickle=False)
+
+    def _write(self, block_id: int, values: np.ndarray) -> None:
+        np.save(self._path(block_id), np.asarray(values), allow_pickle=False)
+
+    def block_ids(self) -> list[int]:
+        ids = []
+        for name in os.listdir(self.directory):
+            if name.startswith("block_") and name.endswith(".npy"):
+                ids.append(int(name[len("block_"):-len(".npy")]))
+        return sorted(ids)
+
+
+class CachedBlockStore(BlockStore):
+    """An LRU cache of ``capacity_blocks`` blocks in front of another store.
+
+    Reads served from the cache are *hits* and cost no block transfer on the
+    backing store; misses fetch the block from the backing store (counted
+    there) and may evict the least recently used cached block, writing it
+    back if dirty.  This is how the benchmarks model a CPU cache or a small
+    main memory in front of a big data set.
+    """
+
+    def __init__(self, backing: BlockStore, capacity_blocks: int):
+        super().__init__()
+        self.backing = backing
+        self.capacity_blocks = check_positive_int(capacity_blocks, "capacity_blocks")
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # -- cache mechanics -------------------------------------------------------
+    def _evict_if_needed(self) -> None:
+        while len(self._cache) > self.capacity_blocks:
+            victim_id, victim = self._cache.popitem(last=False)
+            if victim_id in self._dirty:
+                self.backing.write_block(victim_id, victim)
+                self._dirty.discard(victim_id)
+
+    def _load(self, block_id: int) -> np.ndarray:
+        if block_id in self._cache:
+            self._cache.move_to_end(block_id)
+            self.hits += 1
+            return self._cache[block_id]
+        self.misses += 1
+        values = self.backing.read_block(block_id)
+        self._cache[block_id] = np.array(values, copy=True)
+        self._evict_if_needed()
+        return self._cache[block_id]
+
+    # -- BlockStore interface ------------------------------------------------------
+    def _read(self, block_id: int) -> np.ndarray:
+        return self._load(block_id)
+
+    def _write(self, block_id: int, values: np.ndarray) -> None:
+        self._cache[block_id] = np.array(values, copy=True)
+        self._cache.move_to_end(block_id)
+        self._dirty.add(block_id)
+        self._evict_if_needed()
+
+    def block_ids(self) -> list[int]:
+        ids = set(self.backing.block_ids()) | set(self._cache)
+        return sorted(ids)
+
+    def flush(self) -> None:
+        """Write every dirty cached block back to the backing store."""
+        for block_id in list(self._dirty):
+            self.backing.write_block(block_id, self._cache[block_id])
+        self._dirty.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that had to go to the backing store."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,67 @@
+"""Coarse-grained parallel machine substrate (the "PRO machine").
+
+The paper analyses its algorithms in the PRO model (Gebremedhin, Guerin
+Lassous, Gustedt & Telle, 2002), a descendant of Valiant's BSP: ``p``
+homogeneous processors, each with private memory of size ``O(n/p)``, linked
+by a point-to-point network; computation proceeds in supersteps, and an
+algorithm is only admissible when it is work- and space-optimal with respect
+to a reference sequential algorithm.
+
+This subpackage is an executable stand-in for the paper's experimental
+environment (SSCRAP on top of MPI / shared memory).  It provides
+
+* :class:`~repro.pro.machine.PROMachine` -- run an SPMD program on ``p``
+  virtual processors,
+* :class:`~repro.pro.communicator.Communicator` -- message passing
+  (point-to-point and collective operations built from point-to-point),
+* :mod:`~repro.pro.cost` -- per-processor, per-superstep resource accounting
+  (compute operations, words communicated, messages, random variates,
+  memory), plus an analytic time model used to reproduce the paper's scaling
+  table on hardware we do not have,
+* :mod:`~repro.pro.topology` -- interconnect models (fully connected, ring,
+  2-D mesh, hypercube) that feed hop counts into the time model.
+
+Every algorithm of the paper (Algorithms 1, 5 and 6) is implemented as an
+ordinary Python function ``program(ctx, ...)`` that receives a
+:class:`~repro.pro.machine.ProcessorContext` and can be executed by the
+machine on any number of virtual processors.
+"""
+
+from repro.pro.analysis import PROAssessment, SequentialReference, assess_run, granularity
+from repro.pro.machine import PROMachine, ProcessorContext, RunResult
+from repro.pro.communicator import Communicator
+from repro.pro.cost import (
+    CostRecorder,
+    CostReport,
+    MachineParameters,
+    SuperstepCost,
+)
+from repro.pro.topology import (
+    Topology,
+    FullyConnected,
+    Ring,
+    Mesh2D,
+    Hypercube,
+    topology_from_name,
+)
+
+__all__ = [
+    "PROMachine",
+    "ProcessorContext",
+    "RunResult",
+    "PROAssessment",
+    "SequentialReference",
+    "assess_run",
+    "granularity",
+    "Communicator",
+    "CostRecorder",
+    "CostReport",
+    "MachineParameters",
+    "SuperstepCost",
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "topology_from_name",
+]

@@ -1,0 +1,165 @@
+"""PRO-model quality analysis of a measured run.
+
+The PRO model (Gebremedhin, Guerin Lassous, Gustedt & Telle 2002) judges a
+parallel algorithm *relative to a fixed sequential reference*: an algorithm
+is admissible only when it is work- and space-optimal with respect to that
+reference, and its quality is expressed by its **granularity function**
+``Grain(n)`` -- the largest number of processors for which the algorithm
+still yields linear speed-up.  For the permutation algorithm the paper
+claims ``Grain(n) = sqrt(n)`` when the matrix is computed in parallel
+(Algorithm 6) and ``sqrt(n / log n)`` with the log-factor Algorithm 5.
+
+This module turns a measured :class:`~repro.pro.cost.CostReport` plus a
+sequential reference cost into exactly these judgements:
+
+* is the run work-optimal (total work within a constant of the reference)?
+* is it space-optimal (per-processor memory O(reference / p))?
+* is it balanced (max/mean per-processor load bounded)?
+* what speed-up does the cost model predict, and up to which ``p`` does the
+  predicted speed-up stay within a factor of the ideal ``p``?
+
+These checks back the work-optimality/balance assertions in the integration
+tests and give library users a one-call audit of their own PRO programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pro.cost import CostReport, MachineParameters
+from repro.util.errors import ValidationError
+from repro.util.tables import format_table
+from repro.util.validation import check_positive_int
+
+__all__ = ["SequentialReference", "PROAssessment", "assess_run", "granularity"]
+
+
+@dataclass(frozen=True)
+class SequentialReference:
+    """Resource usage of the sequential reference algorithm.
+
+    For random permutation the reference is Fisher-Yates on one processor:
+    ``operations = n`` item moves, ``memory_words = n`` and
+    ``random_variates = n - 1``.
+    """
+
+    operations: int
+    memory_words: int
+    random_variates: int = 0
+
+    @classmethod
+    def fisher_yates(cls, n_items: int) -> "SequentialReference":
+        """The reference used throughout the paper for permutations of ``n_items``."""
+        n_items = check_positive_int(n_items, "n_items")
+        return cls(operations=n_items, memory_words=n_items, random_variates=max(n_items - 1, 0))
+
+
+@dataclass
+class PROAssessment:
+    """Outcome of :func:`assess_run`."""
+
+    n_procs: int
+    work_ratio: float                 # total parallel work / sequential work
+    memory_ratio: float               # max per-proc memory / (sequential memory / p)
+    variate_ratio: float              # total variates / sequential variates (0 if reference has none)
+    compute_imbalance: float          # max/mean per-processor compute
+    communication_imbalance: float    # max/mean per-processor words sent
+    work_optimal: bool
+    space_optimal: bool
+    balanced: bool
+
+    @property
+    def admissible(self) -> bool:
+        """True when the run satisfies all three PRO admissibility criteria."""
+        return self.work_optimal and self.space_optimal and self.balanced
+
+    def summary_table(self) -> str:
+        """Human-readable assessment."""
+        rows = [
+            ["total work / sequential work", f"{self.work_ratio:.2f}", "<= allowed constant"],
+            ["max memory / (sequential / p)", f"{self.memory_ratio:.2f}", "<= allowed constant"],
+            ["random variates / sequential", f"{self.variate_ratio:.2f}", "<= allowed constant"],
+            ["compute imbalance (max/mean)", f"{self.compute_imbalance:.2f}", "~ 1 means balanced"],
+            ["communication imbalance", f"{self.communication_imbalance:.2f}", "~ 1 means balanced"],
+            ["work-optimal", self.work_optimal, ""],
+            ["space-optimal", self.space_optimal, ""],
+            ["balanced", self.balanced, ""],
+            ["PRO-admissible", self.admissible, ""],
+        ]
+        return format_table(["criterion", "value", "note"], rows,
+                            title=f"PRO assessment ({self.n_procs} processors)")
+
+
+def assess_run(
+    report: CostReport,
+    reference: SequentialReference,
+    *,
+    work_constant: float = 8.0,
+    space_constant: float = 8.0,
+    balance_constant: float = 2.0,
+) -> PROAssessment:
+    """Judge a measured run against a sequential reference in the PRO sense.
+
+    The constants bound the acceptable constant factors; the defaults are
+    deliberately generous (the model only cares about asymptotics) but tight
+    enough that a log-factor blow-up on realistic sizes trips them.
+    """
+    if reference.operations <= 0:
+        raise ValidationError("the sequential reference must do at least one operation")
+    p = report.n_procs
+
+    total_work = report.total("compute_ops")
+    work_ratio = total_work / reference.operations
+
+    max_memory = report.max_over_ranks("memory_words_peak")
+    per_proc_budget = reference.memory_words / p if reference.memory_words else 1
+    memory_ratio = max_memory / per_proc_budget if per_proc_budget else 0.0
+
+    if reference.random_variates > 0:
+        variate_ratio = report.total("random_variates") / reference.random_variates
+    else:
+        variate_ratio = 0.0
+
+    compute_imbalance = report.imbalance("compute_ops")
+    communication_imbalance = report.imbalance("words_sent")
+
+    return PROAssessment(
+        n_procs=p,
+        work_ratio=work_ratio,
+        memory_ratio=memory_ratio,
+        variate_ratio=variate_ratio,
+        compute_imbalance=compute_imbalance,
+        communication_imbalance=communication_imbalance,
+        work_optimal=work_ratio <= work_constant and (variate_ratio <= work_constant),
+        space_optimal=memory_ratio <= space_constant,
+        balanced=compute_imbalance <= balance_constant and communication_imbalance <= balance_constant,
+    )
+
+
+def granularity(
+    n_items: int,
+    *,
+    matrix_algorithm: str = "alg6",
+) -> float:
+    """The paper's granularity bound: the largest useful processor count.
+
+    With Algorithm 6 the matrix work is ``O(p)`` per processor, so linear
+    speed-up persists while ``p <= sqrt(n)``; with Algorithm 5 an extra
+    ``log p`` is paid, shaving the bound to roughly ``sqrt(n / log n)``.
+    The root-sequential variant computes the full ``p^2`` matrix on one
+    processor, giving ``p <= n**(1/3)`` before the matrix dominates.
+    """
+    n_items = check_positive_int(n_items, "n_items")
+    import math
+
+    if matrix_algorithm == "alg6":
+        return math.sqrt(n_items)
+    if matrix_algorithm == "alg5":
+        if n_items <= 2:
+            return 1.0
+        return math.sqrt(n_items / max(math.log2(n_items), 1.0))
+    if matrix_algorithm == "root":
+        return n_items ** (1.0 / 3.0)
+    raise ValidationError(
+        f"unknown matrix_algorithm {matrix_algorithm!r}; use 'alg5', 'alg6' or 'root'"
+    )

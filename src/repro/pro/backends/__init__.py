@@ -1,0 +1,19 @@
+"""Execution backends for the PRO machine.
+
+A backend takes an SPMD program (a callable ``program(ctx, *args, **kwargs)``)
+and executes one copy per virtual processor:
+
+* :class:`~repro.pro.backends.thread.ThreadBackend` -- one Python thread per
+  rank; ranks run concurrently and communicate through the message fabric.
+  This is the default and the only backend that allows blocking point-to-
+  point patterns between ranks (Algorithms 5 and 6 need it).
+* :class:`~repro.pro.backends.inline.InlineBackend` -- runs a *single* rank in
+  the calling thread; used for ``p = 1`` runs (the sequential reference
+  inside the same harness) and for micro-benchmarks where thread start-up
+  costs would drown the signal.
+"""
+
+from repro.pro.backends.thread import ThreadBackend
+from repro.pro.backends.inline import InlineBackend
+
+__all__ = ["ThreadBackend", "InlineBackend"]

@@ -1,0 +1,224 @@
+"""The PRO machine: run SPMD programs on ``p`` virtual processors.
+
+A *program* is an ordinary Python callable ``program(ctx, *args, **kwargs)``
+executed once per virtual processor.  The :class:`ProcessorContext` it
+receives bundles everything a coarse-grained algorithm needs:
+
+``ctx.rank`` / ``ctx.n_procs``
+    The processor id and the machine size.
+``ctx.comm``
+    A :class:`~repro.pro.communicator.Communicator` for message passing.
+``ctx.rng``
+    An independent per-processor random stream (optionally a
+    :class:`~repro.rng.counting.CountingRNG` when the machine is created
+    with ``count_random_variates=True``).
+``ctx.cost``
+    The processor's :class:`~repro.pro.cost.CostRecorder`.
+
+Example
+-------
+>>> from repro.pro import PROMachine
+>>> def hello(ctx):
+...     return ctx.comm.allreduce(ctx.rank)
+>>> machine = PROMachine(4, seed=0)
+>>> machine.run(hello).results
+[6, 6, 6, 6]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.pro.backends.inline import InlineBackend
+from repro.pro.backends.thread import ThreadBackend
+from repro.pro.communicator import Communicator, MessageFabric
+from repro.pro.cost import CostRecorder, CostReport, MachineParameters
+from repro.pro.topology import FullyConnected, Topology, topology_from_name
+from repro.rng.counting import CountingRNG
+from repro.rng.streams import StreamFactory
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["ProcessorContext", "RunResult", "PROMachine"]
+
+
+@dataclass
+class ProcessorContext:
+    """Everything one virtual processor sees during a run."""
+
+    rank: int
+    n_procs: int
+    comm: Communicator
+    rng: Any
+    cost: CostRecorder
+
+    @property
+    def is_root(self) -> bool:
+        """True on rank 0 (the conventional root of rooted collectives)."""
+        return self.rank == 0
+
+    def log_compute(self, ops: int) -> None:
+        """Charge ``ops`` basic operations to this processor's account."""
+        self.cost.add_compute(ops)
+
+    def log_random_variates(self, count: int) -> None:
+        """Charge ``count`` random variates to this processor's account."""
+        self.cost.add_random_variates(count)
+
+
+@dataclass
+class RunResult:
+    """Per-rank return values plus the aggregated resource report of one run."""
+
+    results: list
+    cost_report: CostReport
+    wall_clock_seconds: float
+    n_procs: int
+
+    def result(self, rank: int = 0):
+        """Return value of one rank (rank 0 by default)."""
+        return self.results[rank]
+
+    def predicted_time(self, params: MachineParameters, **kwargs) -> float:
+        """Predicted wall-clock on a machine described by ``params``.
+
+        Convenience forwarding to
+        :meth:`repro.pro.cost.CostReport.predicted_time`.
+        """
+        return self.cost_report.predicted_time(params, **kwargs)
+
+
+class PROMachine:
+    """A coarse-grained parallel machine with ``n_procs`` virtual processors.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of virtual processors ``p``.
+    seed:
+        Seed (or ``numpy.random.SeedSequence``) from which the independent
+        per-processor streams are derived.  Two machines built with the same
+        seed and the same ``n_procs`` produce identical runs.
+    backend:
+        ``"thread"`` (default), ``"inline"`` (only for ``n_procs == 1``) or an
+        object with a ``run(contexts, program, args, kwargs)`` method.
+    topology:
+        Interconnect model used by the analytic time predictions; a
+        :class:`~repro.pro.topology.Topology` instance or a name
+        (``"fully-connected"``, ``"ring"``, ``"mesh"``, ``"hypercube"``).
+    count_random_variates:
+        When True each rank's stream is wrapped in a
+        :class:`~repro.rng.counting.CountingRNG` and the consumed variates
+        are transferred into the cost report at the end of the run.
+    timeout:
+        Seconds a blocking receive or barrier waits before declaring a
+        deadlock.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        seed=None,
+        backend: str | object = "thread",
+        topology: str | Topology = "fully-connected",
+        count_random_variates: bool = False,
+        timeout: float = 60.0,
+    ):
+        self.n_procs = check_positive_int(n_procs, "n_procs")
+        self._stream_factory = StreamFactory(seed)
+        self.count_random_variates = bool(count_random_variates)
+        self.timeout = float(timeout)
+
+        if isinstance(topology, Topology):
+            if topology.n_nodes != self.n_procs:
+                raise ValidationError(
+                    f"topology has {topology.n_nodes} nodes but the machine has {self.n_procs}"
+                )
+            self.topology = topology
+        else:
+            self.topology = topology_from_name(str(topology), self.n_procs)
+
+        if isinstance(backend, str):
+            if backend == "thread":
+                self.backend = ThreadBackend()
+            elif backend == "inline":
+                self.backend = InlineBackend()
+            else:
+                raise ValidationError(f"unknown backend {backend!r}; use 'thread' or 'inline'")
+        else:
+            if not hasattr(backend, "run"):
+                raise ValidationError("a backend object must expose a run() method")
+            self.backend = backend
+        if isinstance(self.backend, InlineBackend) and self.n_procs != 1:
+            raise ValidationError("the inline backend requires n_procs == 1")
+
+    # -- running programs -------------------------------------------------------
+    def _build_contexts(self) -> list[ProcessorContext]:
+        fabric = MessageFabric(self.n_procs, timeout=self.timeout)
+        streams = self._stream_factory.processor_streams(self.n_procs)
+        contexts = []
+        for rank in range(self.n_procs):
+            cost = CostRecorder(rank)
+            rng = CountingRNG(streams[rank]) if self.count_random_variates else streams[rank]
+            comm = Communicator(fabric, rank, cost)
+            contexts.append(ProcessorContext(rank=rank, n_procs=self.n_procs, comm=comm, rng=rng, cost=cost))
+        return contexts
+
+    def run(self, program: Callable, *args, **kwargs) -> RunResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every virtual processor.
+
+        Returns a :class:`RunResult` with the per-rank return values (ordered
+        by rank), the aggregated :class:`~repro.pro.cost.CostReport` and the
+        measured wall-clock time of the whole run.
+
+        .. note::
+           Each call spawns fresh per-processor random streams derived from
+           the machine seed, so *consecutive* runs of the same machine see
+           different randomness while two machines created with the same seed
+           replay identical sequences of runs.
+        """
+        if not callable(program):
+            raise ValidationError("program must be callable: program(ctx, *args, **kwargs)")
+        contexts = self._build_contexts()
+        start = time.perf_counter()
+        results = self.backend.run(contexts, program, args, kwargs)
+        elapsed = time.perf_counter() - start
+
+        if self.count_random_variates:
+            for ctx in contexts:
+                ctx.cost.add_random_variates(ctx.rng.total_variates)
+
+        report = CostReport([ctx.cost for ctx in contexts])
+        return RunResult(
+            results=results,
+            cost_report=report,
+            wall_clock_seconds=elapsed,
+            n_procs=self.n_procs,
+        )
+
+    # -- convenience --------------------------------------------------------------
+    def map_blocks(self, func: Callable, blocks: Sequence[np.ndarray]) -> list:
+        """Apply ``func(ctx, block)`` with block ``i`` on rank ``i`` (helper for examples).
+
+        ``blocks`` must have exactly ``n_procs`` entries.
+        """
+        if len(blocks) != self.n_procs:
+            raise ValidationError(
+                f"map_blocks needs {self.n_procs} blocks, got {len(blocks)}"
+            )
+
+        def program(ctx):
+            return func(ctx, blocks[ctx.rank])
+
+        return self.run(program).results
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"PROMachine(n_procs={self.n_procs}, backend={self.backend.name!r}, "
+            f"topology={type(self.topology).__name__})"
+        )

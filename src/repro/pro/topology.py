@@ -1,0 +1,175 @@
+"""Interconnect topology models.
+
+The PRO model charges communication by the number of words crossing the
+point-to-point network, with the constant depending on the bandwidth of the
+interconnect.  To let the analytic time model distinguish a shared-memory
+Origin-style machine (essentially fully connected, uniform latency) from a
+cluster with a structured network, the machine can be configured with one of
+the topologies below.  Each topology answers two questions:
+
+* ``hops(src, dst)`` -- how many links does a message traverse, and
+* ``bisection_width()`` -- how many links cross a balanced cut, which bounds
+  the throughput of all-to-all phases such as the data exchange of
+  Algorithm 1.
+
+The topologies are purely analytic devices; messages are always delivered
+regardless of topology (the thread backend is a full crossbar), only the
+*predicted* time changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "topology_from_name",
+]
+
+
+class Topology(ABC):
+    """Abstract interconnect with ``n_nodes`` processors."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = check_positive_int(n_nodes, "n_nodes")
+
+    def _check_node(self, node: int, name: str) -> int:
+        node = int(node)
+        if not (0 <= node < self.n_nodes):
+            raise ValidationError(f"{name} must be in [0, {self.n_nodes}), got {node}")
+        return node
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links a message from ``src`` to ``dst`` traverses."""
+
+    @abstractmethod
+    def bisection_width(self) -> int:
+        """Number of links crossing a balanced bipartition of the nodes."""
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any two nodes."""
+        return max(
+            self.hops(src, dst)
+            for src in range(self.n_nodes)
+            for dst in range(self.n_nodes)
+        )
+
+    def average_hops(self) -> float:
+        """Average hop distance over ordered pairs of distinct nodes."""
+        if self.n_nodes == 1:
+            return 0.0
+        total = sum(
+            self.hops(src, dst)
+            for src in range(self.n_nodes)
+            for dst in range(self.n_nodes)
+            if src != dst
+        )
+        return total / (self.n_nodes * (self.n_nodes - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(n_nodes={self.n_nodes})"
+
+
+class FullyConnected(Topology):
+    """Every pair of processors is directly linked (crossbar / shared memory).
+
+    This is the topology that matches the paper's experimental platforms
+    (shared-memory Origin, SMP nodes): one hop between any two distinct
+    processors and a bisection width of ``(p/2)**2`` links.
+    """
+
+    def hops(self, src: int, dst: int) -> int:
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        return 0 if src == dst else 1
+
+    def bisection_width(self) -> int:
+        half = self.n_nodes // 2
+        return max(1, half * (self.n_nodes - half))
+
+
+class Ring(Topology):
+    """A bidirectional ring; messages take the shorter way around."""
+
+    def hops(self, src: int, dst: int) -> int:
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        clockwise = (dst - src) % self.n_nodes
+        return min(clockwise, self.n_nodes - clockwise)
+
+    def bisection_width(self) -> int:
+        return 2 if self.n_nodes > 2 else 1
+
+
+class Mesh2D(Topology):
+    """A (nearly) square 2-D mesh without wrap-around links.
+
+    Nodes are numbered row-major on a ``rows x cols`` grid with
+    ``rows = floor(sqrt(p))`` and ``cols = ceil(p / rows)``; the last row may
+    be partially filled.
+    """
+
+    def __init__(self, n_nodes: int):
+        super().__init__(n_nodes)
+        self.rows = max(1, int(np.floor(np.sqrt(self.n_nodes))))
+        self.cols = int(np.ceil(self.n_nodes / self.rows))
+
+    def _coords(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def bisection_width(self) -> int:
+        # Cutting the mesh across the longer dimension severs ~min(rows, cols) links.
+        return max(1, min(self.rows, self.cols))
+
+
+class Hypercube(Topology):
+    """A binary hypercube; requires ``n_nodes`` to be a power of two."""
+
+    def __init__(self, n_nodes: int):
+        super().__init__(n_nodes)
+        if n_nodes & (n_nodes - 1):
+            raise ValidationError(f"Hypercube requires a power-of-two node count, got {n_nodes}")
+        self.dimension = int(n_nodes).bit_length() - 1
+
+    def hops(self, src: int, dst: int) -> int:
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        return int(bin(src ^ dst).count("1"))
+
+    def bisection_width(self) -> int:
+        return max(1, self.n_nodes // 2)
+
+
+_NAMES = {
+    "fully-connected": FullyConnected,
+    "full": FullyConnected,
+    "crossbar": FullyConnected,
+    "ring": Ring,
+    "mesh": Mesh2D,
+    "mesh2d": Mesh2D,
+    "hypercube": Hypercube,
+}
+
+
+def topology_from_name(name: str, n_nodes: int) -> Topology:
+    """Build a topology by name: ``fully-connected``, ``ring``, ``mesh``, ``hypercube``."""
+    key = name.strip().lower()
+    if key not in _NAMES:
+        raise ValidationError(f"unknown topology {name!r}; choose from {sorted(set(_NAMES))}")
+    return _NAMES[key](n_nodes)

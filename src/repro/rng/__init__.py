@@ -1,0 +1,31 @@
+"""Random-number substrate.
+
+The paper's complexity statements charge the algorithms for every random
+variate they consume ("random numbers" are one of the four resources in
+Theorem 1), and Section 6 reports *how many* uniform variates each
+hypergeometric sample costs (< 1.5 on average, <= 10 worst case).  To be able
+to reproduce those measurements this subpackage provides
+
+* :class:`~repro.rng.streams.StreamFactory` -- reproducible, statistically
+  independent per-processor streams obtained by spawning a NumPy
+  ``SeedSequence`` (one child per virtual processor), plus helpers to create
+  a whole family of streams from a single user seed;
+* :class:`~repro.rng.counting.CountingRNG` -- a thin wrapper around a NumPy
+  ``Generator`` that counts every uniform variate handed to the caller, so
+  samplers can report their exact random-number consumption;
+* :class:`~repro.rng.splitmix.SplitMix64` -- a tiny, pure-Python, exactly
+  reproducible generator used by tests that need bit-level determinism
+  independent of the NumPy version.
+"""
+
+from repro.rng.streams import StreamFactory, spawn_streams, default_rng
+from repro.rng.counting import CountingRNG
+from repro.rng.splitmix import SplitMix64
+
+__all__ = [
+    "StreamFactory",
+    "spawn_streams",
+    "default_rng",
+    "CountingRNG",
+    "SplitMix64",
+]

@@ -1,0 +1,50 @@
+"""Statistical validation of the library's samplers.
+
+The correctness claims of the paper are distributional ("every permutation
+appears equally likely", "the matrix follows the law induced by a uniform
+permutation"), so beyond deterministic unit tests the reproduction needs
+statistical machinery:
+
+* :mod:`repro.stats.uniformity` -- chi-square tests over the full permutation
+  space (small ``n``), per-position occupancy tests, and classic permutation
+  statistics (fixed points, inversions) usable at any scale;
+* :mod:`repro.stats.hypergeom_tests` -- goodness-of-fit of the univariate and
+  multivariate hypergeometric samplers against their exact pmfs;
+* :mod:`repro.stats.matrix_tests` -- goodness-of-fit of sampled communication
+  matrices against the exact law of
+  :mod:`repro.core.matrix_distribution`, plus marginal (Proposition 3) and
+  self-similarity (Proposition 4) checks.
+
+All tests return plain result objects with a ``p_value``; the test-suite and
+the uniformity benchmark decide what threshold to apply.
+"""
+
+from repro.stats.uniformity import (
+    GoodnessOfFitResult,
+    chi_square_permutation_uniformity,
+    position_occupancy_test,
+    fixed_points_summary,
+    inversions_summary,
+)
+from repro.stats.hypergeom_tests import (
+    chi_square_hypergeometric,
+    chi_square_multivariate_marginals,
+)
+from repro.stats.matrix_tests import (
+    chi_square_matrix_law,
+    entry_marginal_test,
+    merged_matrix_test,
+)
+
+__all__ = [
+    "GoodnessOfFitResult",
+    "chi_square_permutation_uniformity",
+    "position_occupancy_test",
+    "fixed_points_summary",
+    "inversions_summary",
+    "chi_square_hypergeometric",
+    "chi_square_multivariate_marginals",
+    "chi_square_matrix_law",
+    "entry_marginal_test",
+    "merged_matrix_test",
+]

@@ -1,0 +1,113 @@
+"""Goodness-of-fit tests for the hypergeometric samplers.
+
+These tests compare empirical samples against the exact pmfs of
+:mod:`repro.core.hypergeometric` and :mod:`repro.core.multivariate`.  Cells
+whose expected count falls below a threshold are merged into their neighbour
+so the chi-square approximation stays valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core import hypergeometric, multivariate
+from repro.stats.uniformity import GoodnessOfFitResult
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive_int, check_vector_of_nonnegative_ints
+
+__all__ = ["chi_square_hypergeometric", "chi_square_multivariate_marginals", "merge_small_cells"]
+
+
+def merge_small_cells(observed: np.ndarray, expected: np.ndarray, min_expected: float = 5.0):
+    """Merge adjacent cells until every expected count is at least ``min_expected``.
+
+    Returns the merged ``(observed, expected)`` arrays.  Cells are merged
+    left to right; a trailing under-populated cell is merged into its left
+    neighbour.  Raises when fewer than two cells survive.
+    """
+    if observed.shape != expected.shape:
+        raise ValidationError("observed and expected must have the same shape")
+    merged_obs: list[float] = []
+    merged_exp: list[float] = []
+    acc_obs = 0.0
+    acc_exp = 0.0
+    for obs, exp in zip(observed, expected):
+        acc_obs += float(obs)
+        acc_exp += float(exp)
+        if acc_exp >= min_expected:
+            merged_obs.append(acc_obs)
+            merged_exp.append(acc_exp)
+            acc_obs = 0.0
+            acc_exp = 0.0
+    if acc_exp > 0:
+        if merged_exp:
+            merged_obs[-1] += acc_obs
+            merged_exp[-1] += acc_exp
+        else:
+            merged_obs.append(acc_obs)
+            merged_exp.append(acc_exp)
+    if len(merged_exp) < 2:
+        raise ValidationError(
+            "not enough probability mass to form two cells; draw more samples "
+            "or use less extreme parameters"
+        )
+    return np.asarray(merged_obs), np.asarray(merged_exp)
+
+
+def chi_square_hypergeometric(samples, t: int, w: int, b: int, *, min_expected: float = 5.0) -> GoodnessOfFitResult:
+    """Chi-square test of samples against the exact ``h(t, w, b)`` pmf."""
+    samples = np.asarray(samples, dtype=np.int64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValidationError("samples must be a non-empty 1-D array")
+    lo, hi = hypergeometric.support(t, w, b)
+    if samples.min() < lo or samples.max() > hi:
+        raise ValidationError(
+            f"samples outside the support [{lo}, {hi}] of h({t}, {w}, {b})"
+        )
+    values = np.arange(lo, hi + 1)
+    expected_probs = np.array([hypergeometric.pmf(int(k), t, w, b) for k in values])
+    observed = np.array([(samples == k).sum() for k in values], dtype=float)
+    expected = expected_probs * samples.size
+    observed_m, expected_m = merge_small_cells(observed, expected, min_expected)
+    # Renormalise the tiny probability mass lost to the merge.
+    expected_m *= observed_m.sum() / expected_m.sum()
+    statistic = float(((observed_m - expected_m) ** 2 / expected_m).sum())
+    dof = len(observed_m) - 1
+    return GoodnessOfFitResult(
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        p_value=float(scipy_stats.chi2.sf(statistic, dof)),
+        n_samples=int(samples.size),
+        detail=f"h(t={t}, w={w}, b={b})",
+    )
+
+
+def chi_square_multivariate_marginals(
+    samples,
+    n_draws: int,
+    class_sizes,
+    *,
+    min_expected: float = 5.0,
+) -> list[GoodnessOfFitResult]:
+    """Per-class chi-square tests of multivariate hypergeometric samples.
+
+    The marginal of class ``i`` is ``h(n_draws, m'_i, n - m'_i)``; each class
+    gets its own test.  ``samples`` has shape ``(n_samples, n_classes)``.
+    """
+    class_sizes = check_vector_of_nonnegative_ints(class_sizes, "class_sizes")
+    n_draws = check_positive_int(n_draws, "n_draws")
+    arr = np.asarray(samples, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != class_sizes.size:
+        raise ValidationError(
+            f"samples must have shape (n_samples, {class_sizes.size}), got {arr.shape}"
+        )
+    total = int(class_sizes.sum())
+    results = []
+    for i, size in enumerate(class_sizes.tolist()):
+        results.append(
+            chi_square_hypergeometric(
+                arr[:, i], n_draws, size, total - size, min_expected=min_expected
+            )
+        )
+    return results

@@ -1,0 +1,131 @@
+"""Goodness-of-fit tests for the communication-matrix law.
+
+Problem 2 requires the sampled matrix to follow *exactly* the distribution a
+uniform permutation induces.  Three complementary checks:
+
+* :func:`chi_square_matrix_law` -- exhaustive test against the exact pmf of
+  :mod:`repro.core.matrix_distribution` (small marginals only, where the set
+  of admissible matrices can be enumerated);
+* :func:`entry_marginal_test` -- Proposition 3: each entry ``a_ij`` is
+  hypergeometric ``h(m'_j, m_i, n - m_i)``; works for any size;
+* :func:`merged_matrix_test` -- Proposition 4: merging rows/columns of the
+  samples must reproduce the law of the merged problem; verified through the
+  marginal law of the merged entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core import matrix_distribution
+from repro.stats.hypergeom_tests import chi_square_hypergeometric
+from repro.stats.uniformity import GoodnessOfFitResult
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive_int, check_vector_of_nonnegative_ints
+
+__all__ = ["chi_square_matrix_law", "entry_marginal_test", "merged_matrix_test"]
+
+
+def chi_square_matrix_law(
+    matrix_sampler: Callable[[], np.ndarray],
+    row_sums,
+    col_sums,
+    n_samples: int,
+    *,
+    min_expected: float = 5.0,
+) -> GoodnessOfFitResult:
+    """Exhaustive chi-square test of a matrix sampler against the exact law.
+
+    ``matrix_sampler`` is called ``n_samples`` times; each returned matrix is
+    binned by its byte representation and the counts are tested against the
+    exact probabilities.  Matrices with expected count below ``min_expected``
+    are pooled into a single cell.
+    """
+    rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
+    cols = check_vector_of_nonnegative_ints(col_sums, "col_sums")
+    n_samples = check_positive_int(n_samples, "n_samples")
+
+    exact = matrix_distribution.exact_distribution(rows, cols)
+    counts: dict[bytes, int] = {key: 0 for key in exact}
+    for _ in range(n_samples):
+        matrix = np.asarray(matrix_sampler(), dtype=np.int64)
+        key = matrix.tobytes()
+        if key not in counts:
+            raise ValidationError(
+                "the sampler produced a matrix outside the admissible set "
+                f"(marginals {rows.tolist()} / {cols.tolist()}):\n{matrix}"
+            )
+        counts[key] += 1
+
+    observed_main, expected_main = [], []
+    pooled_obs, pooled_exp = 0.0, 0.0
+    for key, prob in exact.items():
+        expected = prob * n_samples
+        if expected < min_expected:
+            pooled_obs += counts[key]
+            pooled_exp += expected
+        else:
+            observed_main.append(counts[key])
+            expected_main.append(expected)
+    if pooled_exp > 0:
+        observed_main.append(pooled_obs)
+        expected_main.append(pooled_exp)
+    observed_arr = np.asarray(observed_main, dtype=float)
+    expected_arr = np.asarray(expected_main, dtype=float)
+    statistic = float(((observed_arr - expected_arr) ** 2 / expected_arr).sum())
+    dof = len(observed_arr) - 1
+    return GoodnessOfFitResult(
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        p_value=float(scipy_stats.chi2.sf(statistic, dof)),
+        n_samples=n_samples,
+        detail=f"exact matrix law, {len(exact)} admissible matrices",
+    )
+
+
+def entry_marginal_test(
+    matrices: Sequence[np.ndarray],
+    i: int,
+    j: int,
+    row_sums,
+    col_sums,
+    *,
+    min_expected: float = 5.0,
+) -> GoodnessOfFitResult:
+    """Test Proposition 3 on entry ``(i, j)`` of a batch of sampled matrices."""
+    if len(matrices) == 0:
+        raise ValidationError("entry_marginal_test needs at least one matrix")
+    samples = np.asarray([np.asarray(m)[i, j] for m in matrices], dtype=np.int64)
+    t, w, b = matrix_distribution.entry_distribution(i, j, row_sums, col_sums)
+    return chi_square_hypergeometric(samples, t, w, b, min_expected=min_expected)
+
+
+def merged_matrix_test(
+    matrices: Sequence[np.ndarray],
+    row_groups: Sequence[Sequence[int]],
+    col_groups: Sequence[Sequence[int]],
+    row_sums,
+    col_sums,
+    *,
+    entry: tuple[int, int] = (0, 0),
+    min_expected: float = 5.0,
+) -> GoodnessOfFitResult:
+    """Test Proposition 4: merged samples follow the merged problem's law.
+
+    Merges every sampled matrix by ``row_groups``/``col_groups`` and applies
+    the marginal test of Proposition 3 to ``entry`` of the merged matrix,
+    whose law is the hypergeometric of the merged marginals.
+    """
+    rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
+    cols = check_vector_of_nonnegative_ints(col_sums, "col_sums")
+    merged_rows = np.asarray([int(rows[list(group)].sum()) for group in row_groups], dtype=np.int64)
+    merged_cols = np.asarray([int(cols[list(group)].sum()) for group in col_groups], dtype=np.int64)
+    merged_samples = [
+        matrix_distribution.merge_blocks(m, row_groups, col_groups) for m in matrices
+    ]
+    return entry_marginal_test(
+        merged_samples, entry[0], entry[1], merged_rows, merged_cols, min_expected=min_expected
+    )

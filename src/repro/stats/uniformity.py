@@ -1,0 +1,205 @@
+"""Uniformity tests for permutation samplers.
+
+Theorem 1 claims the parallel algorithm samples *uniformly* from the ``n!``
+permutations.  For small ``n`` this can be tested exhaustively by ranking
+every observed permutation (Lehmer code) and chi-square testing the counts
+against the uniform distribution; for larger ``n`` we fall back to
+consequences of uniformity that aggregate over many items:
+
+* every item is equally likely to land on every position (occupancy test);
+* the number of fixed points has mean 1 and variance 1;
+* the number of inversions has mean ``n(n-1)/4`` and variance
+  ``n(n-1)(2n+5)/72``.
+
+The tests take a *sampler*: any callable ``sampler() -> permutation array``.
+They are deliberately agnostic about where the permutation comes from so the
+same code validates Algorithm 1, the baselines (where some are expected to
+fail) and NumPy's own shuffler (as a sanity oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+from typing import Callable
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.util.errors import ValidationError
+from repro.util.hashing import is_permutation, lehmer_rank
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "GoodnessOfFitResult",
+    "chi_square_permutation_uniformity",
+    "position_occupancy_test",
+    "fixed_points_summary",
+    "inversions_summary",
+]
+
+
+@dataclass
+class GoodnessOfFitResult:
+    """Outcome of a chi-square goodness-of-fit test."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+    n_samples: int
+    detail: str = ""
+
+    def rejects_uniformity(self, alpha: float = 0.001) -> bool:
+        """True when the test rejects the null hypothesis at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _collect(sampler: Callable[[], np.ndarray], n_samples: int, expected_n: int | None = None) -> list[np.ndarray]:
+    perms = []
+    for _ in range(n_samples):
+        perm = np.asarray(sampler())
+        if not is_permutation(perm):
+            raise ValidationError(
+                f"sampler returned something that is not a permutation of 0..n-1: {perm!r}"
+            )
+        if expected_n is not None and perm.size != expected_n:
+            raise ValidationError(
+                f"sampler returned a permutation of size {perm.size}, expected {expected_n}"
+            )
+        perms.append(perm)
+    return perms
+
+
+def chi_square_permutation_uniformity(
+    sampler: Callable[[], np.ndarray],
+    n: int,
+    n_samples: int,
+) -> GoodnessOfFitResult:
+    """Exhaustive uniformity test over all ``n!`` permutations (small ``n``).
+
+    Draws ``n_samples`` permutations of ``0..n-1`` from ``sampler``, ranks
+    each one and chi-square tests the rank counts against the uniform
+    distribution on ``{0, ..., n!-1}``.  ``n`` above 8 is rejected (40320
+    cells already require hundreds of thousands of samples).
+    """
+    n = check_positive_int(n, "n")
+    if n > 8:
+        raise ValidationError("the exhaustive test is limited to n <= 8; use the occupancy test instead")
+    n_cells = factorial(n)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    counts = np.zeros(n_cells, dtype=np.int64)
+    for perm in _collect(sampler, n_samples, expected_n=n):
+        counts[lehmer_rank(perm)] += 1
+    expected = n_samples / n_cells
+    statistic = float(((counts - expected) ** 2 / expected).sum())
+    dof = n_cells - 1
+    p_value = float(scipy_stats.chi2.sf(statistic, dof))
+    return GoodnessOfFitResult(
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        p_value=p_value,
+        n_samples=n_samples,
+        detail=f"exhaustive test over {n_cells} permutations of {n} items",
+    )
+
+
+def position_occupancy_test(
+    sampler: Callable[[], np.ndarray],
+    n: int,
+    n_samples: int,
+) -> GoodnessOfFitResult:
+    """Test that every item lands on every position equally often.
+
+    Builds the ``n x n`` occupancy matrix ``C[item, position]`` over
+    ``n_samples`` draws and tests it against the uniform expectation
+    ``n_samples / n`` per cell.  This is a *necessary* condition for
+    uniformity that remains testable for moderate ``n``.
+
+    Calibration note: for sums of independent uniform permutation matrices
+    the raw Pearson statistic ``sum (O - E)^2 / E`` is asymptotically
+    ``n/(n-1)`` times a chi-square with ``(n - 1)^2`` degrees of freedom
+    (both margins are fixed *within every sample*, and the covariance of a
+    permutation matrix on the interaction space has eigenvalue ``1/(n-1)``,
+    not ``1/n``).  The statistic is therefore rescaled by ``(n-1)/n`` before
+    the chi-square tail is evaluated; without this correction the test
+    over-rejects correct samplers by a factor of a few.
+    """
+    n = check_positive_int(n, "n")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    occupancy = np.zeros((n, n), dtype=np.int64)
+    for perm in _collect(sampler, n_samples, expected_n=n):
+        # perm[pos] = item sitting at position pos after the permutation
+        occupancy[perm, np.arange(n)] += 1
+    expected = n_samples / n
+    raw_statistic = float(((occupancy - expected) ** 2 / expected).sum())
+    statistic = raw_statistic * (n - 1) / n if n > 1 else 0.0
+    dof = (n - 1) ** 2
+    p_value = float(scipy_stats.chi2.sf(statistic, dof)) if dof > 0 else 1.0
+    return GoodnessOfFitResult(
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        p_value=p_value,
+        n_samples=n_samples,
+        detail=f"{n}x{n} item/position occupancy",
+    )
+
+
+@dataclass
+class MomentSummary:
+    """Observed vs expected mean of a permutation statistic, with a z-score."""
+
+    observed_mean: float
+    expected_mean: float
+    expected_std_of_mean: float
+    n_samples: int
+
+    @property
+    def z_score(self) -> float:
+        """Standardised deviation of the observed mean from its expectation."""
+        if self.expected_std_of_mean == 0:
+            return 0.0
+        return (self.observed_mean - self.expected_mean) / self.expected_std_of_mean
+
+    @property
+    def p_value(self) -> float:
+        """Two-sided normal p-value of the z-score."""
+        return float(2 * scipy_stats.norm.sf(abs(self.z_score)))
+
+
+def fixed_points_summary(sampler: Callable[[], np.ndarray], n: int, n_samples: int) -> MomentSummary:
+    """Mean number of fixed points vs the uniform expectation of exactly 1."""
+    n = check_positive_int(n, "n")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    values = []
+    positions = np.arange(n)
+    for perm in _collect(sampler, n_samples, expected_n=n):
+        values.append(int(np.sum(perm == positions)))
+    observed = float(np.mean(values))
+    # For a uniform permutation the number of fixed points has mean 1 and
+    # variance 1 (for n >= 2).
+    variance = 1.0 if n >= 2 else 0.0
+    return MomentSummary(
+        observed_mean=observed,
+        expected_mean=1.0 if n >= 1 else 0.0,
+        expected_std_of_mean=float(np.sqrt(variance / n_samples)),
+        n_samples=n_samples,
+    )
+
+
+def inversions_summary(sampler: Callable[[], np.ndarray], n: int, n_samples: int) -> MomentSummary:
+    """Mean number of inversions vs the uniform expectation ``n(n-1)/4``."""
+    n = check_positive_int(n, "n")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    values = []
+    for perm in _collect(sampler, n_samples, expected_n=n):
+        comparison = perm[:, None] > perm[None, :]
+        values.append(int(np.triu(comparison, k=1).sum()))
+    observed = float(np.mean(values))
+    expected = n * (n - 1) / 4
+    variance = n * (n - 1) * (2 * n + 5) / 72
+    return MomentSummary(
+        observed_mean=observed,
+        expected_mean=expected,
+        expected_std_of_mean=float(np.sqrt(variance / n_samples)),
+        n_samples=n_samples,
+    )

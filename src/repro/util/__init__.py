@@ -1,0 +1,47 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are intentionally small and dependency free (NumPy only):
+
+* :mod:`repro.util.errors` -- the exception hierarchy used by the library.
+* :mod:`repro.util.validation` -- argument checking helpers that raise
+  consistent, descriptive errors.
+* :mod:`repro.util.tables` -- plain-text table rendering used by the
+  benchmark harness and the examples.
+* :mod:`repro.util.hashing` -- order-sensitive hashing of integer sequences,
+  used to fingerprint permutations in tests and statistics.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    DistributionError,
+    CommunicationError,
+    BackendError,
+)
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    check_vector_of_nonnegative_ints,
+    check_same_total,
+)
+from repro.util.tables import format_table, format_markdown_table
+from repro.util.hashing import permutation_fingerprint, lehmer_rank, lehmer_unrank
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DistributionError",
+    "CommunicationError",
+    "BackendError",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+    "check_vector_of_nonnegative_ints",
+    "check_same_total",
+    "format_table",
+    "format_markdown_table",
+    "permutation_fingerprint",
+    "lehmer_rank",
+    "lehmer_unrank",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library errors with a single
+``except`` clause while still letting programming errors (``TypeError`` from
+misuse of NumPy, ``KeyError`` from internal bugs, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong sign, wrong shape, wrong total).
+
+    Derives from :class:`ValueError` so that code written against the
+    standard library conventions (``except ValueError``) keeps working.
+    """
+
+
+class DistributionError(ReproError):
+    """A probability-distribution computation is impossible or inconsistent.
+
+    Examples: asking for the hypergeometric pmf outside of its support in a
+    context where that is a logic error, or requesting a communication matrix
+    whose row and column marginals do not sum to the same total.
+    """
+
+
+class CommunicationError(ReproError):
+    """A message-passing operation on the PRO machine failed.
+
+    Raised for mismatched collective participation, messages that were never
+    sent, deadlocks detected through timeouts, or payload size mismatches.
+    """
+
+
+class BackendError(ReproError):
+    """The selected execution backend cannot run the requested program."""

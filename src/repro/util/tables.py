@@ -1,0 +1,73 @@
+"""Plain-text and Markdown table rendering.
+
+The benchmark harness, the examples and ``EXPERIMENTS.md`` generation all
+print small tables of results.  These helpers avoid a dependency on external
+formatting libraries and keep the output stable (useful for doc tests and for
+diffing benchmark logs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _normalise(headers: Sequence[str], rows: Iterable[Sequence]) -> tuple[list[str], list[list[str]]]:
+    header_strs = [str(h) for h in headers]
+    row_strs = [[_stringify(c) for c in row] for row in rows]
+    width = len(header_strs)
+    for row in row_strs:
+        if len(row) != width:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {width}")
+    return header_strs, row_strs
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None) -> str:
+    """Render an aligned, plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; every row must have ``len(headers)`` cells.  Floats
+        are rendered with 4 significant digits.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    header_strs, row_strs = _normalise(headers, rows)
+    widths = [len(h) for h in header_strs]
+    for row in row_strs:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_strs))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in row_strs)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavoured Markdown table (used for ``EXPERIMENTS.md``)."""
+    header_strs, row_strs = _normalise(headers, rows)
+    lines = ["| " + " | ".join(header_strs) + " |", "|" + "|".join("---" for _ in header_strs) + "|"]
+    lines.extend("| " + " | ".join(row) + " |" for row in row_strs)
+    return "\n".join(lines)

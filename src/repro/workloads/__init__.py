@@ -1,0 +1,19 @@
+"""Workload and input generators for the examples, tests and benchmarks."""
+
+from repro.workloads.generators import (
+    integer_vector,
+    record_vector,
+    skewed_block_sizes,
+    balanced_block_sizes,
+    matrix_marginals,
+    load_balancing_scenario,
+)
+
+__all__ = [
+    "integer_vector",
+    "record_vector",
+    "skewed_block_sizes",
+    "balanced_block_sizes",
+    "matrix_marginals",
+    "load_balancing_scenario",
+]

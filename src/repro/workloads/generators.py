@@ -1,0 +1,155 @@
+"""Input generators.
+
+The paper's experiments permute vectors of ``long int``'s of up to 480
+million items; the introduction motivates the problem with load balancing,
+random sampling for algorithm testing, statistical tests and games.  The
+generators here produce the corresponding synthetic inputs:
+
+* plain integer vectors (the paper's workload),
+* record vectors (an integer key plus payload words, to exercise non-trivial
+  item sizes in the exchange),
+* balanced and skewed block layouts,
+* marginal vectors for stand-alone communication-matrix experiments,
+* a "load balancing" scenario where the items arrive heavily skewed across
+  processors and a random permutation is the classic fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockDistribution
+from repro.rng.streams import default_rng
+from repro.util.errors import ValidationError
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "integer_vector",
+    "record_vector",
+    "balanced_block_sizes",
+    "skewed_block_sizes",
+    "matrix_marginals",
+    "load_balancing_scenario",
+]
+
+
+def integer_vector(n_items: int, *, dtype=np.int64, distinct: bool = True, seed=None) -> np.ndarray:
+    """A vector of ``n_items`` integers.
+
+    With ``distinct=True`` (default) the vector is ``0..n-1`` -- handy
+    because multiset equality after permutation reduces to sorting; with
+    ``distinct=False`` values are drawn uniformly from a 32-bit range, which
+    exercises duplicate handling in the baselines.
+    """
+    n_items = check_nonnegative_int(n_items, "n_items")
+    if distinct:
+        return np.arange(n_items, dtype=dtype)
+    rng = default_rng(seed)
+    return rng.integers(0, 2**31 - 1, size=n_items).astype(dtype)
+
+
+def record_vector(n_items: int, *, payload_words: int = 3, seed=None) -> np.ndarray:
+    """A structured vector: an ``int64`` key plus ``payload_words`` payload columns.
+
+    Used to verify that the exchange moves whole records, not just keys, and
+    to benchmark the bandwidth term with heavier items.
+    """
+    n_items = check_nonnegative_int(n_items, "n_items")
+    payload_words = check_positive_int(payload_words, "payload_words")
+    rng = default_rng(seed)
+    dtype = [("key", np.int64), ("payload", np.float64, (payload_words,))]
+    out = np.zeros(n_items, dtype=dtype)
+    out["key"] = np.arange(n_items)
+    out["payload"] = rng.random((n_items, payload_words))
+    return out
+
+
+def balanced_block_sizes(n_items: int, n_procs: int) -> np.ndarray:
+    """Block sizes of the balanced distribution (differ by at most one)."""
+    return BlockDistribution.balanced(n_items, n_procs).sizes
+
+
+def skewed_block_sizes(n_items: int, n_procs: int, *, skew: float = 2.0, seed=None) -> np.ndarray:
+    """Block sizes following a geometric-like skew: block 0 largest, then decaying.
+
+    ``skew`` is the approximate ratio between the largest and the smallest
+    block.  Useful to model the unbalanced inputs that motivate using a
+    random permutation for load balancing.
+    """
+    n_items = check_nonnegative_int(n_items, "n_items")
+    n_procs = check_positive_int(n_procs, "n_procs")
+    if skew < 1.0:
+        raise ValidationError(f"skew must be >= 1, got {skew}")
+    weights = np.geomspace(skew, 1.0, num=n_procs)
+    raw = weights / weights.sum() * n_items
+    sizes = np.floor(raw).astype(np.int64)
+    deficit = n_items - int(sizes.sum())
+    # Distribute the rounding remainder over the largest fractional parts.
+    order = np.argsort(-(raw - np.floor(raw)))
+    for i in range(deficit):
+        sizes[order[i % n_procs]] += 1
+    return sizes
+
+
+def matrix_marginals(
+    n_procs: int,
+    items_per_proc: int,
+    *,
+    layout: str = "balanced",
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Source/target marginal vectors for stand-alone matrix experiments.
+
+    ``layout`` is one of
+
+    * ``"balanced"`` -- all blocks equal (the paper's symmetric case);
+    * ``"uneven"`` -- random block sizes on both sides (same totals);
+    * ``"gather"`` -- balanced sources, targets concentrated on half of the
+      processors (a redistribution / repartitioning workload).
+    """
+    n_procs = check_positive_int(n_procs, "n_procs")
+    items_per_proc = check_nonnegative_int(items_per_proc, "items_per_proc")
+    total = n_procs * items_per_proc
+    if layout == "balanced":
+        sizes = np.full(n_procs, items_per_proc, dtype=np.int64)
+        return sizes, sizes.copy()
+    if layout == "uneven":
+        rng = default_rng(seed)
+        rows = BlockDistribution.random_uneven(total, n_procs, seed=rng, min_size=0).sizes
+        cols = BlockDistribution.random_uneven(total, n_procs, seed=rng, min_size=0).sizes
+        return rows, cols
+    if layout == "gather":
+        rows = np.full(n_procs, items_per_proc, dtype=np.int64)
+        cols = np.zeros(n_procs, dtype=np.int64)
+        receivers = max(1, n_procs // 2)
+        base, extra = divmod(total, receivers)
+        cols[:receivers] = base
+        cols[:extra] += 1
+        return rows, cols
+    raise ValidationError(f"unknown layout {layout!r}; use 'balanced', 'uneven' or 'gather'")
+
+
+def load_balancing_scenario(
+    n_items: int,
+    n_procs: int,
+    *,
+    skew: float = 4.0,
+    seed=None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """A skewed distributed workload and the balanced target layout.
+
+    Returns ``(blocks, target_sizes)``: ``blocks[i]`` holds processor ``i``'s
+    (heavily unbalanced) share of synthetic work items, ``target_sizes`` is
+    the balanced layout a random permutation should redistribute them into.
+    The items carry a "cost" value drawn from a heavy-tailed distribution so
+    the example can also show that *expensive* items spread out evenly.
+    """
+    n_items = check_nonnegative_int(n_items, "n_items")
+    n_procs = check_positive_int(n_procs, "n_procs")
+    rng = default_rng(seed)
+    sizes = skewed_block_sizes(n_items, n_procs, skew=skew, seed=rng)
+    costs = rng.pareto(2.0, size=n_items) + 1.0
+    distribution = BlockDistribution(sizes)
+    blocks = [block.copy() for block in distribution.split(costs)]
+    target = balanced_block_sizes(n_items, n_procs)
+    return blocks, target

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Statistical tests use fixed seeds so the suite is deterministic; thresholds
+are chosen so that a correct sampler fails with probability far below 1e-6
+per test (the chi-square tests use alpha = 1e-4 on pre-seeded data, which
+either passes always or fails always for a given code version).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pro.machine import PROMachine
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministically seeded NumPy generator."""
+    return np.random.default_rng(20030607)
+
+
+@pytest.fixture
+def machine2():
+    """A 2-processor PRO machine with a fixed seed."""
+    return PROMachine(2, seed=101)
+
+
+@pytest.fixture
+def machine3():
+    """A 3-processor PRO machine with a fixed seed."""
+    return PROMachine(3, seed=202)
+
+
+@pytest.fixture
+def machine4():
+    """A 4-processor PRO machine with a fixed seed."""
+    return PROMachine(4, seed=303)
+
+
+@pytest.fixture
+def machine5():
+    """A 5-processor PRO machine (odd, non power of two) with a fixed seed."""
+    return PROMachine(5, seed=404)

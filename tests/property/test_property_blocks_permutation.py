@@ -1,0 +1,86 @@
+"""Property-based tests for block distributions and the end-to-end permutation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import BlockDistribution
+from repro.core.permutation import permute_distributed, random_permutation
+from repro.util.hashing import lehmer_rank, lehmer_unrank, permutation_fingerprint
+
+
+class TestBlockDistributionProperties:
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_offsets_are_prefix_sums(self, sizes):
+        dist = BlockDistribution(sizes)
+        assert dist.offsets[0] == 0
+        assert dist.offsets[-1] == sum(sizes)
+        assert np.all(np.diff(dist.offsets) == np.asarray(sizes))
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=10).filter(lambda s: sum(s) > 0))
+    @settings(max_examples=100, deadline=None)
+    def test_owner_and_local_index_consistent(self, sizes):
+        dist = BlockDistribution(sizes)
+        for g in range(dist.total):
+            block, offset = dist.local_index(g)
+            assert 0 <= offset < sizes[block]
+            assert dist.global_index(block, offset) == g
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_split_concatenate_roundtrip(self, sizes):
+        dist = BlockDistribution(sizes)
+        data = np.arange(dist.total) * 3
+        assert np.array_equal(dist.concatenate(dist.split(data)), data)
+
+    @given(n=st.integers(min_value=0, max_value=200), p=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_balanced_blocks_differ_by_at_most_one(self, n, p):
+        dist = BlockDistribution.balanced(n, p)
+        assert dist.total == n
+        assert dist.sizes.max() - dist.sizes.min() <= 1
+
+
+class TestLehmerProperties:
+    @given(rank=st.integers(min_value=0, max_value=719), n=st.just(6))
+    @settings(max_examples=100, deadline=None)
+    def test_rank_unrank_roundtrip(self, rank, n):
+        assert lehmer_rank(lehmer_unrank(rank, n)) == rank
+
+    @given(perm=st.permutations(list(range(7))))
+    @settings(max_examples=100, deadline=None)
+    def test_fingerprint_detects_any_reordering(self, perm):
+        identity = list(range(7))
+        if list(perm) == identity:
+            assert permutation_fingerprint(perm) == permutation_fingerprint(identity)
+        else:
+            assert permutation_fingerprint(perm) != permutation_fingerprint(identity)
+
+
+class TestPermutationProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        algorithm=st.sampled_from(["root", "alg5", "alg6"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distributed_permutation_invariants(self, sizes, seed, algorithm):
+        """Output blocks keep the sizes, the multiset of items and nothing else."""
+        dist = BlockDistribution(sizes)
+        data = np.arange(dist.total)
+        blocks = [b.copy() for b in dist.split(data)]
+        out_blocks, run = permute_distributed(blocks, seed=seed, matrix_algorithm=algorithm)
+        assert [len(b) for b in out_blocks] == list(sizes)
+        merged = np.concatenate([np.asarray(b) for b in out_blocks]) if dist.total else np.empty(0)
+        assert sorted(merged.tolist()) == list(range(dist.total))
+        assert run.n_procs == len(sizes)
+
+    @given(
+        n=st.integers(min_value=0, max_value=60),
+        p=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_in_memory_permutation_is_a_permutation(self, n, p, seed):
+        out = random_permutation(np.arange(n), n_procs=p, seed=seed)
+        assert sorted(out.tolist()) == list(range(n))

@@ -1,0 +1,89 @@
+"""Property-based tests for the communicator collectives.
+
+The collectives are built from point-to-point messages with tree schedules;
+these tests check, over random machine sizes, roots and payload shapes, that
+the results agree with the obvious sequential specification.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pro.communicator import payload_words
+from repro.pro.machine import PROMachine
+
+
+def run(n_procs, program):
+    return PROMachine(n_procs, seed=7).run(program).results
+
+
+class TestCollectiveSemantics:
+    @given(p=st.integers(min_value=1, max_value=9), root=st.integers(min_value=0, max_value=8),
+           payload=st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_bcast_delivers_roots_value(self, p, root, payload):
+        root = root % p
+
+        def program(ctx):
+            value = payload if ctx.rank == root else None
+            return ctx.comm.bcast(value, root=root)
+
+        assert run(p, program) == [payload] * p
+
+    @given(p=st.integers(min_value=1, max_value=9), root=st.integers(min_value=0, max_value=8),
+           values=st.lists(st.integers(min_value=-50, max_value=50), min_size=9, max_size=9))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_equals_python_sum(self, p, root, values):
+        root = root % p
+        local_values = values[:p]
+
+        def program(ctx):
+            return ctx.comm.reduce(local_values[ctx.rank], root=root)
+
+        results = run(p, program)
+        assert results[root] == sum(local_values)
+        assert all(r is None for i, r in enumerate(results) if i != root)
+
+    @given(p=st.integers(min_value=1, max_value=9),
+           values=st.lists(st.integers(min_value=-50, max_value=50), min_size=9, max_size=9))
+    @settings(max_examples=30, deadline=None)
+    def test_allgather_collects_in_rank_order(self, p, values):
+        local_values = values[:p]
+
+        def program(ctx):
+            return ctx.comm.allgather(local_values[ctx.rank])
+
+        assert run(p, program) == [local_values] * p
+
+    @given(p=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_alltoall_transposes(self, p):
+        def program(ctx):
+            return ctx.comm.alltoall([(ctx.rank, dest) for dest in range(ctx.n_procs)])
+
+        results = run(p, program)
+        for receiver in range(p):
+            assert results[receiver] == [(src, receiver) for src in range(p)]
+
+    @given(p=st.integers(min_value=1, max_value=8),
+           values=st.lists(st.integers(min_value=0, max_value=20), min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_scan_matches_cumulative_sum(self, p, values):
+        local_values = values[:p]
+
+        def program(ctx):
+            return ctx.comm.scan(local_values[ctx.rank])
+
+        expected = np.cumsum(local_values).tolist()
+        assert run(p, program) == expected
+
+
+class TestPayloadWordsProperties:
+    @given(shape=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_array_words_equal_size(self, shape):
+        assert payload_words(np.zeros(shape)) == shape
+
+    @given(items=st.lists(st.integers(), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_list_words_equal_length(self, items):
+        assert payload_words(items) == len(items)

@@ -1,0 +1,89 @@
+"""Property-based tests for the external-memory layer and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extmem.blockstore import CachedBlockStore, MemoryBlockStore
+from repro.extmem.permutation import external_random_permutation
+from repro.pro.cost import MachineParameters, SuperstepCost
+from repro.bench.scaling import ORIGIN_SCALING_MODEL
+
+
+class TestExternalPermutationProperties:
+    @given(
+        n_items=st.integers(min_value=0, max_value=300),
+        block_size=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_pass_preserves_multiset_and_layout(self, n_items, block_size, seed):
+        source = MemoryBlockStore()
+        source.load_vector(np.arange(n_items), block_size=block_size)
+        input_sizes = [source._read(i).size for i in source.block_ids()]
+        source.io.reset()
+        target = MemoryBlockStore()
+        result = external_random_permutation(source, target, seed=seed)
+        out = target.dump_vector()
+        assert sorted(out.astype(np.int64).tolist()) == list(range(n_items))
+        assert [target._read(i).size for i in target.block_ids()] == input_sizes
+        assert result.n_items == n_items
+
+    @given(
+        n_blocks=st.integers(min_value=1, max_value=12),
+        block_size=st.integers(min_value=1, max_value=40),
+        capacity=st.integers(min_value=1, max_value=6),
+        accesses=st.lists(st.integers(min_value=0, max_value=11), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cache_counters_are_consistent(self, n_blocks, block_size, capacity, accesses):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.arange(n_blocks * block_size), block_size=block_size)
+        backing.io.reset()
+        cached = CachedBlockStore(backing, capacity_blocks=capacity)
+        for access in accesses:
+            cached.read_block(access % n_blocks)
+        assert cached.hits + cached.misses == len(accesses)
+        assert backing.io.blocks_read == cached.misses
+        assert 0.0 <= cached.miss_rate <= 1.0
+
+
+class TestCostModelProperties:
+    @given(
+        compute=st.integers(min_value=0, max_value=10**6),
+        sent=st.integers(min_value=0, max_value=10**6),
+        received=st.integers(min_value=0, max_value=10**6),
+        messages=st.integers(min_value=0, max_value=1000),
+        variates=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_superstep_time_is_nonnegative_and_monotone(self, compute, sent, received, messages, variates):
+        params = MachineParameters()
+        step = SuperstepCost(
+            compute_ops=compute, words_sent=sent, words_received=received,
+            messages_sent=messages, messages_received=messages, random_variates=variates,
+        )
+        base = params.superstep_time(step)
+        assert base >= 0
+        bigger = SuperstepCost(
+            compute_ops=compute + 1, words_sent=sent, words_received=received,
+            messages_sent=messages, messages_received=messages, random_variates=variates,
+        )
+        assert params.superstep_time(bigger) >= base
+
+    @given(
+        n_items=st.integers(min_value=10_000, max_value=10**9),
+        p=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scaling_model_bounds(self, n_items, p):
+        model = ORIGIN_SCALING_MODEL
+        sequential = model.sequential_time(n_items)
+        parallel = model.parallel_time(n_items, p)
+        assert parallel > 0
+        # The parallel time can never beat a perfect p-fold split of the two
+        # local shuffles alone (a lower bound of the model).
+        assert parallel >= 2.0 * (n_items / p) * model.seconds_per_item_shuffle - 1e-9
+        # And speed-up can never exceed p by construction of the model terms.
+        if p >= 1:
+            assert sequential / parallel <= max(p, 1) + 1e-9

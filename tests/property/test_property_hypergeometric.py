@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the hypergeometric distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import hypergeometric as hg
+from repro.rng.counting import CountingRNG
+
+# Keep the parameter space modest so the pmf sums stay cheap.
+urn = st.tuples(
+    st.integers(min_value=0, max_value=60),   # white
+    st.integers(min_value=0, max_value=60),   # black
+).filter(lambda wb: wb[0] + wb[1] > 0)
+
+
+@st.composite
+def urn_and_draws(draw):
+    w, b = draw(urn)
+    t = draw(st.integers(min_value=0, max_value=w + b))
+    return t, w, b
+
+
+class TestPmfProperties:
+    @given(params=urn_and_draws())
+    @settings(max_examples=80, deadline=None)
+    def test_pmf_sums_to_one(self, params):
+        t, w, b = params
+        lo, hi = hg.support(t, w, b)
+        total = sum(hg.pmf(k, t, w, b) for k in range(lo, hi + 1))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(params=urn_and_draws())
+    @settings(max_examples=80, deadline=None)
+    def test_mean_matches_first_moment(self, params):
+        t, w, b = params
+        lo, hi = hg.support(t, w, b)
+        first_moment = sum(k * hg.pmf(k, t, w, b) for k in range(lo, hi + 1))
+        assert first_moment == pytest.approx(hg.mean(t, w, b), abs=1e-8)
+
+    @given(params=urn_and_draws())
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry_in_colours(self, params):
+        """Counting whites among t draws vs blacks: P[X=k] == P[X'=t-k]."""
+        t, w, b = params
+        lo, hi = hg.support(t, w, b)
+        for k in range(lo, hi + 1):
+            assert hg.pmf(k, t, w, b) == pytest.approx(hg.pmf(t - k, t, b, w), abs=1e-10)
+
+    @given(params=urn_and_draws())
+    @settings(max_examples=80, deadline=None)
+    def test_complement_symmetry_in_draws(self, params):
+        """Drawing t or leaving t balls behind is the same experiment:
+        P[X_{t} = k] == P[X_{n-t} = w - k]."""
+        t, w, b = params
+        n = w + b
+        lo, hi = hg.support(t, w, b)
+        for k in range(lo, hi + 1):
+            assert hg.pmf(k, t, w, b) == pytest.approx(hg.pmf(w - k, n - t, w, b), abs=1e-10)
+
+    @given(params=urn_and_draws())
+    @settings(max_examples=60, deadline=None)
+    def test_mode_is_argmax(self, params):
+        t, w, b = params
+        lo, hi = hg.support(t, w, b)
+        probs = {k: hg.pmf(k, t, w, b) for k in range(lo, hi + 1)}
+        best = max(probs.values())
+        assert probs[hg.mode(t, w, b)] == pytest.approx(best, rel=1e-9)
+
+
+class TestSamplerProperties:
+    @given(params=urn_and_draws(), seed=st.integers(min_value=0, max_value=2**32 - 1),
+           method=st.sampled_from(["hin", "hrua", "auto"]))
+    @settings(max_examples=150, deadline=None)
+    def test_samples_in_support(self, params, seed, method):
+        t, w, b = params
+        lo, hi = hg.support(t, w, b)
+        value = hg.sample(t, w, b, np.random.default_rng(seed), method=method)
+        assert lo <= value <= hi
+
+    @given(params=urn_and_draws(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sampling_is_deterministic_given_stream(self, params, seed):
+        t, w, b = params
+        a = hg.sample(t, w, b, np.random.default_rng(seed))
+        b_ = hg.sample(t, w, b, np.random.default_rng(seed))
+        assert a == b_
+
+    @given(params=urn_and_draws(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_hin_uniform_consumption_bounded_by_draws(self, params, seed):
+        t, w, b = params
+        rng = CountingRNG(np.random.default_rng(seed))
+        hg.sample_hin(t, w, b, rng)
+        assert rng.uniforms_drawn <= max(t, 1)

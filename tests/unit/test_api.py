@@ -1,0 +1,64 @@
+"""Unit tests for the top-level public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import commmatrix as cm
+from repro.core.api import sample_communication_matrix
+from repro.pro.machine import PROMachine
+from repro.util.errors import ValidationError
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        shuffled = repro.random_permutation(np.arange(12), n_procs=3, seed=42)
+        assert sorted(shuffled.tolist()) == list(range(12))
+
+
+class TestSampleCommunicationMatrix:
+    def test_sequential_default(self):
+        matrix = sample_communication_matrix([5, 5, 5], seed=0)
+        assert cm.is_valid_communication_matrix(matrix, [5, 5, 5], [5, 5, 5])
+
+    def test_sequential_recursive_strategy(self):
+        matrix = sample_communication_matrix([4, 4], [3, 5], algorithm="recursive", seed=0)
+        assert cm.is_valid_communication_matrix(matrix, [4, 4], [3, 5])
+
+    def test_sequential_with_explicit_rng(self):
+        rng = np.random.default_rng(3)
+        a = sample_communication_matrix([6, 6], rng=rng)
+        b = sample_communication_matrix([6, 6], rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_sequential_rejects_parallel_algorithm_names(self):
+        with pytest.raises(ValidationError):
+            sample_communication_matrix([4, 4], algorithm="alg6")
+
+    @pytest.mark.parametrize("algorithm", ["alg5", "alg6", "root", None])
+    def test_parallel_path(self, algorithm):
+        matrix = sample_communication_matrix(
+            [4, 4, 4], parallel=True, algorithm=algorithm, seed=1
+        )
+        assert cm.is_valid_communication_matrix(matrix, [4, 4, 4], [4, 4, 4])
+
+    def test_parallel_with_machine(self):
+        machine = PROMachine(3, seed=5)
+        matrix = sample_communication_matrix([2, 2, 2], parallel=True, machine=machine)
+        assert matrix.shape == (3, 3)
+
+    def test_parallel_rejects_sequential_strategy_names(self):
+        with pytest.raises(ValidationError):
+            sample_communication_matrix([4, 4], parallel=True, algorithm="recursive")
+
+    def test_col_sums_default_to_row_sums(self):
+        matrix = sample_communication_matrix([3, 7], seed=2)
+        assert matrix.sum(axis=0).tolist() == [3, 7]

@@ -1,0 +1,253 @@
+"""Unit tests for the baseline algorithms (Fisher-Yates, sample sort, sort-based,
+dart throwing, rejection)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dart_throwing import (
+    dart_throwing_permutation,
+    dart_throwing_program,
+    iterated_dart_throwing,
+)
+from repro.baselines.fisher_yates import (
+    fisher_yates,
+    fisher_yates_inplace,
+    per_item_cost,
+    sequential_permutation,
+)
+from repro.baselines.rejection import (
+    RejectionStatistics,
+    acceptance_probability,
+    rejection_permutation,
+)
+from repro.baselines.samplesort import parallel_sample_sort
+from repro.baselines.sort_based import sort_based_permutation
+from repro.pro.machine import PROMachine
+from repro.rng.counting import CountingRNG
+from repro.util.errors import ValidationError
+
+
+class TestFisherYates:
+    def test_inplace_preserves_multiset(self, rng):
+        data = np.array([4, 4, 2, 7, 1])
+        fisher_yates_inplace(data, rng)
+        assert sorted(data.tolist()) == [1, 2, 4, 4, 7]
+
+    def test_copy_variant_leaves_input(self, rng):
+        data = np.arange(10)
+        out = fisher_yates(data, rng)
+        assert np.array_equal(data, np.arange(10))
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_works_on_python_lists(self, rng):
+        data = list(range(8))
+        fisher_yates_inplace(data, rng)
+        assert sorted(data) == list(range(8))
+
+    def test_consumes_exactly_n_minus_one_variates(self):
+        rng = CountingRNG(0)
+        fisher_yates_inplace(np.arange(25), rng)
+        assert rng.integers_drawn == 24
+
+    def test_sequential_permutation_numpy(self, rng):
+        out = sequential_permutation(np.arange(30), rng, method="numpy")
+        assert sorted(out.tolist()) == list(range(30))
+
+    def test_sequential_permutation_python(self, rng):
+        out = sequential_permutation(np.arange(30), rng, method="python")
+        assert sorted(out.tolist()) == list(range(30))
+
+    def test_sequential_permutation_unknown_method(self, rng):
+        with pytest.raises(ValidationError):
+            sequential_permutation(np.arange(5), rng, method="quantum")
+
+    def test_uniformity_of_python_loop(self):
+        """The pure-Python Fisher-Yates is uniform (position occupancy check)."""
+        rng = np.random.default_rng(77)
+        n, trials = 5, 3000
+        occupancy = np.zeros((n, n))
+        for _ in range(trials):
+            perm = fisher_yates(np.arange(n), rng)
+            occupancy[perm, np.arange(n)] += 1
+        expected = trials / n
+        chi2 = ((occupancy - expected) ** 2 / expected).sum()
+        from scipy import stats as scipy_stats
+        assert scipy_stats.chi2.sf(chi2, (n - 1) ** 2) > 1e-4
+
+    def test_per_item_cost_fields(self):
+        result = per_item_cost(10_000, repeats=1, seed=0)
+        assert result["n_items"] == 10_000
+        assert result["seconds"] > 0
+        assert result["per_item_ns"] > 0
+
+    def test_per_item_cost_rejects_zero_items(self):
+        with pytest.raises(ValidationError):
+            per_item_cost(0)
+
+
+class TestParallelSampleSort:
+    def test_sorts_globally(self):
+        rng = np.random.default_rng(0)
+        blocks = [rng.integers(0, 1000, 40) for _ in range(4)]
+        sorted_blocks, _ = parallel_sample_sort(blocks, seed=1)
+        merged = np.concatenate(sorted_blocks)
+        assert np.array_equal(merged, np.sort(np.concatenate(blocks)))
+
+    def test_blocks_stay_reasonably_balanced(self):
+        rng = np.random.default_rng(1)
+        blocks = [rng.random(250) for _ in range(4)]
+        sorted_blocks, _ = parallel_sample_sort(blocks, seed=2)
+        sizes = [len(b) for b in sorted_blocks]
+        assert max(sizes) <= 3 * (1000 // 4)
+
+    def test_single_processor(self):
+        blocks = [np.array([3, 1, 2])]
+        sorted_blocks, _ = parallel_sample_sort(blocks, seed=0)
+        assert sorted_blocks[0].tolist() == [1, 2, 3]
+
+    def test_duplicate_heavy_input(self):
+        blocks = [np.full(50, 7), np.full(50, 7), np.arange(10)]
+        sorted_blocks, _ = parallel_sample_sort(blocks, seed=3)
+        merged = np.concatenate(sorted_blocks)
+        assert np.array_equal(merged, np.sort(np.concatenate(blocks)))
+
+    def test_empty_blocks(self):
+        blocks = [np.empty(0, dtype=np.int64), np.arange(5), np.empty(0, dtype=np.int64)]
+        sorted_blocks, _ = parallel_sample_sort(blocks, seed=4)
+        assert np.concatenate(sorted_blocks).tolist() == [0, 1, 2, 3, 4]
+
+    def test_machine_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            parallel_sample_sort([np.arange(3)] * 3, machine=PROMachine(2, seed=0))
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(ValidationError):
+            parallel_sample_sort([])
+
+    def test_log_factor_work_recorded(self):
+        """The sample-sort cost report shows the n log n work (E6's log factor)."""
+        blocks = [np.random.default_rng(i).random(500) for i in range(4)]
+        _, run = parallel_sample_sort(blocks, seed=5)
+        total_ops = run.cost_report.total("compute_ops")
+        n = 2000
+        assert total_ops > n * np.log2(n) * 0.5  # clearly super-linear accounting
+
+
+class TestSortBasedPermutation:
+    def test_output_is_permutation(self):
+        out, _ = sort_based_permutation(np.arange(300), n_procs=4, seed=0)
+        assert sorted(out.tolist()) == list(range(300))
+
+    def test_output_differs_from_input_order(self):
+        out, _ = sort_based_permutation(np.arange(300), n_procs=4, seed=0)
+        assert not np.array_equal(out, np.arange(300))
+
+    def test_duplicate_values_supported(self):
+        data = np.array([5] * 20 + [3] * 20)
+        out, _ = sort_based_permutation(data, n_procs=2, seed=1)
+        assert sorted(out.tolist()) == sorted(data.tolist())
+
+    def test_empty_input(self):
+        out, _ = sort_based_permutation(np.empty(0, dtype=np.int64), n_procs=2, seed=0)
+        assert out.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            sort_based_permutation(np.zeros((2, 2)), n_procs=2)
+
+    def test_uniform_position_occupancy(self):
+        """Sort-based permutation IS uniform -- it should pass the occupancy test."""
+        from scipy import stats as scipy_stats
+        n, trials = 6, 400
+        machine = PROMachine(2, seed=123)
+        occupancy = np.zeros((n, n))
+        for _ in range(trials):
+            out, _ = sort_based_permutation(np.arange(n), machine=machine)
+            occupancy[out, np.arange(n)] += 1
+        expected = trials / n
+        chi2 = ((occupancy - expected) ** 2 / expected).sum()
+        assert scipy_stats.chi2.sf(chi2, (n - 1) ** 2) > 1e-4
+
+    def test_random_key_variates_charged(self):
+        _, run = sort_based_permutation(np.arange(100), n_procs=4, seed=2)
+        assert run.cost_report.total("random_variates") >= 100
+
+
+class TestDartThrowing:
+    def test_preserves_multiset(self):
+        out, _ = dart_throwing_permutation(np.arange(200), n_procs=4, seed=0)
+        assert sorted(out.tolist()) == list(range(200))
+
+    def test_block_sizes_fluctuate(self):
+        """Dart throwing does NOT respect the exact target layout (balance failure)."""
+        machine = PROMachine(4, seed=9)
+        blocks_sizes = []
+        for _ in range(20):
+            data = np.arange(64)
+            bounds = np.linspace(0, 64, 5).astype(int)
+            blocks = [data[bounds[i]:bounds[i + 1]] for i in range(4)]
+            run = machine.run(lambda ctx: dart_throwing_program(ctx, blocks[ctx.rank]))
+            blocks_sizes.append([len(b) for b in run.results])
+        sizes = np.array(blocks_sizes)
+        assert sizes.sum(axis=1).tolist() == [64] * 20
+        assert sizes.std() > 0  # not always exactly 16 per processor
+
+    def test_multiple_rounds(self):
+        out, run = iterated_dart_throwing(np.arange(100), n_procs=4, rounds=3, seed=1)
+        assert sorted(out.tolist()) == list(range(100))
+        assert run.cost_report.n_supersteps() >= 3
+
+    def test_rounds_validation(self):
+        machine = PROMachine(2, seed=0)
+        with pytest.raises(Exception):
+            machine.run(lambda ctx: dart_throwing_program(ctx, np.arange(4), rounds=0))
+
+    def test_work_scales_with_rounds(self):
+        _, run1 = dart_throwing_permutation(np.arange(400), n_procs=4, seed=2, rounds=1)
+        _, run3 = dart_throwing_permutation(np.arange(400), n_procs=4, seed=2, rounds=3)
+        assert run3.cost_report.total("random_variates") > 2 * run1.cost_report.total("random_variates")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            dart_throwing_permutation(np.zeros((2, 2)), n_procs=2)
+
+
+class TestRejection:
+    def test_acceptance_probability_single_block(self):
+        assert acceptance_probability([10]) == pytest.approx(1.0)
+
+    def test_acceptance_probability_decreases_with_p(self):
+        probs = [acceptance_probability([8] * p) for p in (2, 4, 8)]
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_acceptance_probability_empty(self):
+        assert acceptance_probability([]) == 1.0
+
+    def test_successful_run(self):
+        out, stats = rejection_permutation(np.arange(8), n_procs=2, seed=0, max_attempts=100000)
+        assert sorted(out.tolist()) == list(range(8))
+        assert stats.accepted
+        assert stats.attempts >= 1
+        assert stats.wasted_work_factor == stats.attempts
+
+    def test_custom_target_sizes(self):
+        out, stats = rejection_permutation(
+            np.arange(6), n_procs=3, target_sizes=[2, 2, 2], seed=1, max_attempts=100000
+        )
+        assert sorted(out.tolist()) == list(range(6))
+
+    def test_target_sizes_must_sum(self):
+        with pytest.raises(ValidationError):
+            rejection_permutation(np.arange(6), n_procs=2, target_sizes=[2, 2])
+
+    def test_max_attempts_exhausted_raises(self):
+        with pytest.raises(ValidationError, match="work-optimality"):
+            rejection_permutation(np.arange(64), n_procs=16, seed=2, max_attempts=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            rejection_permutation(np.zeros((2, 2)), n_procs=2)
+
+    def test_statistics_dataclass(self):
+        stats = RejectionStatistics(attempts=3, accepted=True, items_processed=30)
+        assert stats.wasted_work_factor == 3.0

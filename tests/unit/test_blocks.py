@@ -1,0 +1,150 @@
+"""Unit tests for BlockDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockDistribution
+from repro.util.errors import ValidationError
+
+
+class TestConstruction:
+    def test_from_sizes(self):
+        dist = BlockDistribution([3, 0, 2])
+        assert dist.n_blocks == 3
+        assert dist.total == 5
+        assert dist.offsets.tolist() == [0, 3, 3, 5]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution([])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution([3, -1])
+
+    def test_balanced_remainder_goes_first(self):
+        dist = BlockDistribution.balanced(10, 3)
+        assert dist.sizes.tolist() == [4, 3, 3]
+
+    def test_balanced_exact_division(self):
+        assert BlockDistribution.balanced(12, 4).sizes.tolist() == [3, 3, 3, 3]
+
+    def test_balanced_zero_items(self):
+        dist = BlockDistribution.balanced(0, 3)
+        assert dist.total == 0
+        assert dist.sizes.tolist() == [0, 0, 0]
+
+    def test_uniform(self):
+        dist = BlockDistribution.uniform(5, 4)
+        assert dist.sizes.tolist() == [5, 5, 5, 5]
+
+    def test_random_uneven_totals_match(self):
+        dist = BlockDistribution.random_uneven(100, 7, seed=1, min_size=3)
+        assert dist.total == 100
+        assert dist.sizes.min() >= 3
+
+    def test_random_uneven_reproducible(self):
+        a = BlockDistribution.random_uneven(50, 4, seed=9)
+        b = BlockDistribution.random_uneven(50, 4, seed=9)
+        assert a == b
+
+    def test_random_uneven_infeasible_min(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution.random_uneven(5, 3, min_size=10)
+
+    def test_from_blocks(self):
+        blocks = [np.arange(2), np.arange(5), np.arange(0)]
+        dist = BlockDistribution.from_blocks(blocks)
+        assert dist.sizes.tolist() == [2, 5, 0]
+
+
+class TestIndexing:
+    dist = BlockDistribution([4, 3, 3])
+
+    def test_owner_of(self):
+        assert self.dist.owner_of(0) == 0
+        assert self.dist.owner_of(3) == 0
+        assert self.dist.owner_of(4) == 1
+        assert self.dist.owner_of(9) == 2
+
+    def test_owner_of_out_of_range(self):
+        with pytest.raises(ValidationError):
+            self.dist.owner_of(10)
+
+    def test_owner_skips_empty_blocks(self):
+        dist = BlockDistribution([2, 0, 3])
+        assert dist.owner_of(2) == 2
+
+    def test_local_index_roundtrip(self):
+        for g in range(self.dist.total):
+            block, offset = self.dist.local_index(g)
+            assert self.dist.global_index(block, offset) == g
+
+    def test_global_index_validation(self):
+        with pytest.raises(ValidationError):
+            self.dist.global_index(0, 4)
+        with pytest.raises(ValidationError):
+            self.dist.global_index(3, 0)
+
+    def test_block_slice(self):
+        assert self.dist.block_slice(1) == slice(4, 7)
+
+    def test_slices_cover_everything(self):
+        slices = self.dist.slices()
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_is_balanced(self):
+        assert BlockDistribution([4, 3, 3]).is_balanced()
+        assert not BlockDistribution([5, 1]).is_balanced()
+        assert BlockDistribution([5, 1]).is_balanced(tolerance=4)
+
+
+class TestMaterialisation:
+    def test_split_and_concatenate_roundtrip(self):
+        dist = BlockDistribution([2, 5, 3])
+        data = np.arange(10) * 10
+        blocks = dist.split(data)
+        assert [len(b) for b in blocks] == [2, 5, 3]
+        assert np.array_equal(dist.concatenate(blocks), data)
+
+    def test_split_wrong_length(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution([2, 2]).split(np.arange(5))
+
+    def test_concatenate_wrong_block_count(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution([2, 2]).concatenate([np.arange(2)])
+
+    def test_concatenate_wrong_block_size(self):
+        with pytest.raises(ValidationError):
+            BlockDistribution([2, 2]).concatenate([np.arange(2), np.arange(3)])
+
+    def test_concatenate_empty_total(self):
+        dist = BlockDistribution([0, 0])
+        assert dist.concatenate([np.empty(0), np.empty(0)]).size == 0
+
+    def test_split_returns_views(self):
+        dist = BlockDistribution([3, 2])
+        data = np.arange(5)
+        blocks = dist.split(data)
+        blocks[0][0] = 99
+        assert data[0] == 99
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a, b = BlockDistribution([1, 2]), BlockDistribution([1, 2])
+        c = BlockDistribution([2, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a distribution"
+
+    def test_len(self):
+        assert len(BlockDistribution([1, 2, 3])) == 3
+
+    def test_repr_mentions_sizes(self):
+        text = repr(BlockDistribution([1, 2, 3]))
+        assert "n=6" in text and "p=3" in text

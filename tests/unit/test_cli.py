@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_permute_defaults(self):
+        args = build_parser().parse_args(["permute", "--n", "100"])
+        assert args.command == "permute"
+        assert args.procs == 4
+        assert args.matrix_algorithm == "root"
+
+    def test_matrix_requires_sizes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_permute(self, capsys):
+        code = main(["permute", "--n", "200", "--procs", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "permuted 200 items" in out
+        assert "Per-processor resource usage" in out
+
+    def test_permute_alg6(self, capsys):
+        code = main(["permute", "--n", "60", "--procs", "3", "--seed", "1",
+                     "--matrix-algorithm", "alg6"])
+        assert code == 0
+        assert "permuted 60 items" in capsys.readouterr().out
+
+    def test_matrix_sequential(self, capsys):
+        code = main(["matrix", "--sizes", "5,5,5", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "row sums   : [5, 5, 5]" in out
+
+    def test_matrix_parallel_with_targets(self, capsys):
+        code = main(["matrix", "--sizes", "4,4,4", "--target-sizes", "6,3,3",
+                     "--algorithm", "alg6", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "column sums: [6, 3, 3]" in out
+
+    def test_scaling_paper(self, capsys):
+        code = main(["scaling", "--paper"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overhead factor" in out
+        assert "crossover at p = 6" in out
+
+    def test_scaling_measured(self, capsys):
+        code = main(["scaling", "--measure", "5000", "--procs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Measured on this machine" in out
+
+    def test_uniformity(self, capsys):
+        code = main(["uniformity", "--n", "4", "--procs", "2", "--samples", "1500", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniformity NOT rejected" in out
+
+    def test_randoms(self, capsys):
+        code = main(["randoms", "--procs", "6", "--items-per-proc", "100", "--matrices", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniforms per call" in out

@@ -1,0 +1,271 @@
+"""Unit tests for the external-memory subpackage (block stores + permutations)."""
+
+import numpy as np
+import pytest
+
+from repro.extmem.blockstore import (
+    CachedBlockStore,
+    FileBlockStore,
+    IOStatistics,
+    MemoryBlockStore,
+)
+from repro.extmem.permutation import (
+    external_random_permutation,
+    naive_external_permutation,
+)
+from repro.util.errors import ValidationError
+
+
+class TestIOStatistics:
+    def test_total_and_reset(self):
+        stats = IOStatistics(blocks_read=3, blocks_written=2, words_read=30, words_written=20)
+        assert stats.total_block_transfers == 5
+        stats.reset()
+        assert stats.total_block_transfers == 0
+        assert stats.words_read == 0
+
+
+class TestMemoryBlockStore:
+    def test_write_read_roundtrip(self):
+        store = MemoryBlockStore()
+        store.write_block(0, np.arange(5))
+        assert np.array_equal(store.read_block(0), np.arange(5))
+
+    def test_accounting(self):
+        store = MemoryBlockStore()
+        store.write_block(0, np.arange(5))
+        store.read_block(0)
+        store.read_block(0)
+        assert store.io.blocks_written == 1
+        assert store.io.blocks_read == 2
+        assert store.io.words_read == 10
+
+    def test_missing_block(self):
+        with pytest.raises(ValidationError):
+            MemoryBlockStore().read_block(3)
+
+    def test_block_ids_sorted(self):
+        store = MemoryBlockStore()
+        store.write_block(5, np.arange(2))
+        store.write_block(1, np.arange(2))
+        assert store.block_ids() == [1, 5]
+
+    def test_write_copies_data(self):
+        store = MemoryBlockStore()
+        data = np.arange(3)
+        store.write_block(0, data)
+        data[0] = 99
+        assert store.read_block(0)[0] == 0
+
+    def test_load_and_dump_vector(self):
+        store = MemoryBlockStore()
+        store.load_vector(np.arange(10), block_size=4)
+        assert store.block_ids() == [0, 1, 2]
+        assert np.array_equal(store.dump_vector(), np.arange(10))
+
+    def test_total_items(self):
+        store = MemoryBlockStore()
+        store.load_vector(np.arange(10), block_size=3)
+        assert store.total_items() == 10
+
+    def test_has_block(self):
+        store = MemoryBlockStore()
+        store.write_block(2, np.arange(1))
+        assert store.has_block(2)
+        assert not store.has_block(0)
+
+
+class TestFileBlockStore:
+    def test_roundtrip_on_disk(self, tmp_path):
+        store = FileBlockStore(str(tmp_path / "blocks"))
+        store.write_block(0, np.arange(7))
+        store.write_block(3, np.array([1.5, 2.5]))
+        assert store.block_ids() == [0, 3]
+        assert np.array_equal(store.read_block(0), np.arange(7))
+        assert np.allclose(store.read_block(3), [1.5, 2.5])
+
+    def test_persistence_across_instances(self, tmp_path):
+        directory = str(tmp_path / "blocks")
+        FileBlockStore(directory).write_block(1, np.arange(4))
+        reopened = FileBlockStore(directory)
+        assert reopened.block_ids() == [1]
+        assert np.array_equal(reopened.read_block(1), np.arange(4))
+
+    def test_missing_block(self, tmp_path):
+        store = FileBlockStore(str(tmp_path / "blocks"))
+        with pytest.raises(ValidationError):
+            store.read_block(0)
+
+
+class TestCachedBlockStore:
+    def test_hits_and_misses(self):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.arange(40), block_size=10)
+        backing.io.reset()
+        cached = CachedBlockStore(backing, capacity_blocks=2)
+        cached.read_block(0)
+        cached.read_block(0)
+        cached.read_block(1)
+        assert cached.misses == 2
+        assert cached.hits == 1
+        assert backing.io.blocks_read == 2
+
+    def test_eviction_respects_capacity(self):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.arange(60), block_size=10)
+        backing.io.reset()
+        cached = CachedBlockStore(backing, capacity_blocks=2)
+        for block_id in (0, 1, 2, 0):
+            cached.read_block(block_id)
+        # block 0 was evicted by block 2, so the second read of 0 misses.
+        assert cached.misses == 4
+
+    def test_dirty_blocks_written_back_on_eviction(self):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.zeros(30, dtype=np.int64), block_size=10)
+        backing.io.reset()
+        cached = CachedBlockStore(backing, capacity_blocks=1)
+        cached.write_block(0, np.full(10, 7))
+        cached.read_block(1)  # evicts dirty block 0
+        assert np.array_equal(backing._read(0), np.full(10, 7))
+
+    def test_flush_writes_dirty_blocks(self):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.zeros(20, dtype=np.int64), block_size=10)
+        cached = CachedBlockStore(backing, capacity_blocks=4)
+        cached.write_block(1, np.full(10, 3))
+        cached.flush()
+        assert np.array_equal(backing._read(1), np.full(10, 3))
+
+    def test_miss_rate(self):
+        backing = MemoryBlockStore()
+        backing.load_vector(np.arange(20), block_size=10)
+        cached = CachedBlockStore(backing, capacity_blocks=2)
+        assert cached.miss_rate == 0.0
+        cached.read_block(0)
+        cached.read_block(0)
+        assert cached.miss_rate == 0.5
+
+
+class TestExternalPermutation:
+    def _make_store(self, n, block_size):
+        store = MemoryBlockStore()
+        store.load_vector(np.arange(n), block_size=block_size)
+        store.io.reset()
+        return store
+
+    def test_two_pass_preserves_items(self):
+        source = self._make_store(200, 25)
+        target = MemoryBlockStore()
+        result = external_random_permutation(source, target, seed=1)
+        out = target.dump_vector()
+        assert sorted(out.tolist()) == list(range(200))
+        assert result.n_items == 200
+        assert result.algorithm == "two-pass"
+
+    def test_two_pass_block_layout_preserved(self):
+        source = self._make_store(100, 10)
+        target = MemoryBlockStore()
+        external_random_permutation(source, target, seed=2)
+        assert [target._read(i).size for i in target.block_ids()] == [10] * 10
+
+    def test_two_pass_io_is_linear_in_blocks(self):
+        source = self._make_store(400, 50)   # 8 blocks of 50 items
+        target = MemoryBlockStore()
+        result = external_random_permutation(source, target, seed=3)
+        # Each source block is read once and each target block written once;
+        # the staging traffic is bounded by one read + one write per
+        # non-empty (source, target) pair, i.e. at most 2 * B per data block.
+        n_blocks = 8
+        assert result.transfers_per_block_of_data <= 2 * n_blocks + 4
+        assert result.block_transfers < 400  # far fewer transfers than items
+
+    def test_two_pass_actually_permutes(self):
+        source = self._make_store(500, 50)
+        target = MemoryBlockStore()
+        external_random_permutation(source, target, seed=4)
+        assert not np.array_equal(target.dump_vector(), np.arange(500))
+
+    def test_empty_store(self):
+        result = external_random_permutation(MemoryBlockStore(), MemoryBlockStore(), seed=0)
+        assert result.n_items == 0
+        assert result.block_transfers == 0
+
+    def test_uneven_blocks(self):
+        source = MemoryBlockStore()
+        source.write_block(0, np.arange(0, 13))
+        source.write_block(1, np.arange(13, 20))
+        source.write_block(2, np.arange(20, 21))
+        target = MemoryBlockStore()
+        external_random_permutation(source, target, seed=5)
+        assert sorted(target.dump_vector().tolist()) == list(range(21))
+        assert [target._read(i).size for i in target.block_ids()] == [13, 7, 1]
+
+    def test_file_backed_end_to_end(self, tmp_path):
+        source = FileBlockStore(str(tmp_path / "in"))
+        source.load_vector(np.arange(64), block_size=16)
+        target = FileBlockStore(str(tmp_path / "out"))
+        staging = FileBlockStore(str(tmp_path / "staging"))
+        result = external_random_permutation(source, target, staging=staging, seed=6)
+        assert sorted(target.dump_vector().tolist()) == list(range(64))
+        assert result.block_transfers > 0
+
+    def test_reproducible_with_seed(self):
+        outs = []
+        for _ in range(2):
+            source = self._make_store(60, 10)
+            target = MemoryBlockStore()
+            external_random_permutation(source, target, seed=99)
+            outs.append(target.dump_vector())
+        assert np.array_equal(outs[0], outs[1])
+
+
+class TestNaiveExternalPermutation:
+    def test_preserves_items(self):
+        source = MemoryBlockStore()
+        source.load_vector(np.arange(80), block_size=10)
+        source.io.reset()
+        target = MemoryBlockStore()
+        result = naive_external_permutation(source, target, cache_blocks=2, seed=1)
+        assert sorted(target.dump_vector().tolist()) == list(range(80))
+        assert result.algorithm == "naive"
+
+    def test_cache_misses_dominate_when_cache_is_small(self):
+        n, block_size = 400, 50
+        source = MemoryBlockStore()
+        source.load_vector(np.arange(n), block_size=block_size)
+        source.io.reset()
+        target = MemoryBlockStore()
+        naive = naive_external_permutation(source, target, cache_blocks=2, seed=2)
+
+        source2 = MemoryBlockStore()
+        source2.load_vector(np.arange(n), block_size=block_size)
+        source2.io.reset()
+        target2 = MemoryBlockStore()
+        two_pass = external_random_permutation(source2, target2, seed=2)
+
+        # The naive algorithm transfers far more blocks than the two-pass one.
+        assert naive.block_transfers > 3 * two_pass.block_transfers
+
+    def test_empty_store(self):
+        result = naive_external_permutation(MemoryBlockStore(), MemoryBlockStore(), seed=0)
+        assert result.n_items == 0
+
+    def test_uniformity_is_not_sacrificed(self):
+        """The naive method is still uniform -- only its I/O is bad (occupancy check)."""
+        from scipy import stats as scipy_stats
+        n = 6
+        occupancy = np.zeros((n, n))
+        trials = 2000
+        rng = np.random.default_rng(3)
+        for _ in range(trials):
+            source = MemoryBlockStore()
+            source.load_vector(np.arange(n), block_size=2)
+            target = MemoryBlockStore()
+            naive_external_permutation(source, target, cache_blocks=1, rng=rng)
+            out = target.dump_vector().astype(int)
+            occupancy[out, np.arange(n)] += 1
+        expected = trials / n
+        statistic = ((occupancy - expected) ** 2 / expected).sum() * (n - 1) / n
+        p_value = scipy_stats.chi2.sf(statistic, (n - 1) ** 2)
+        assert p_value > 1e-4

@@ -1,0 +1,134 @@
+"""Unit tests for the exact communication-matrix law (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import commmatrix as cm
+from repro.core import hypergeometric as hg
+from repro.core import matrix_distribution as md
+from repro.util.errors import ValidationError
+
+
+class TestCountingAndPmf:
+    def test_two_by_two_counts(self):
+        # m = (1, 1), m' = (1, 1): two permutations, each matrix realised once.
+        identity_like = np.array([[1, 0], [0, 1]])
+        swap = np.array([[0, 1], [1, 0]])
+        assert md.pmf(identity_like, [1, 1], [1, 1]) == pytest.approx(0.5)
+        assert md.pmf(swap, [1, 1], [1, 1]) == pytest.approx(0.5)
+
+    def test_number_of_realizing_permutations(self):
+        # m = (2,), m' = (2,): the only matrix [[2]] is realised by both permutations.
+        log_count = md.log_number_of_realizing_permutations([[2]], [2], [2])
+        assert np.exp(log_count) == pytest.approx(2.0)
+
+    def test_pmf_sums_to_one_small_cases(self):
+        for rows, cols in [([3, 2], [2, 3]), ([2, 2, 2], [3, 3]), ([4], [1, 3]), ([1, 1, 1], [1, 1, 1])]:
+            dist = md.exact_distribution(rows, cols)
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_pmf_rejects_invalid_matrix(self):
+        with pytest.raises(ValidationError):
+            md.pmf([[1, 1], [1, 1]], [3, 1], [2, 2])
+
+    def test_expected_matrix(self):
+        expected = md.expected_matrix([6, 4], [5, 5])
+        assert np.allclose(expected, [[3, 3], [2, 2]])
+
+    def test_expected_matrix_zero_total(self):
+        assert np.allclose(md.expected_matrix([0, 0], [0, 0]), 0.0)
+
+    def test_exact_distribution_keys_rebuild(self):
+        rows, cols = [2, 1], [1, 2]
+        dist = md.exact_distribution(rows, cols)
+        for key in dist:
+            matrix = np.frombuffer(key, dtype=np.int64).reshape(2, 2)
+            assert cm.is_valid_communication_matrix(matrix, rows, cols)
+
+
+class TestEnumeration:
+    def test_enumerates_all_contingency_tables(self):
+        # Marginals (2,1) x (1,2): matrices are [[0,2],[1,0]], [[1,1],[0,1]] -- and [[?]] count known to be 2?
+        matrices = list(md.enumerate_matrices([2, 1], [1, 2]))
+        as_tuples = {tuple(m.ravel().tolist()) for m in matrices}
+        assert as_tuples == {(0, 2, 1, 0), (1, 1, 0, 1)}
+
+    def test_count_matches_known_formula(self):
+        # For marginals (1,1,1) x (1,1,1) the admissible matrices are the 3x3
+        # permutation matrices: exactly 6.
+        matrices = list(md.enumerate_matrices([1, 1, 1], [1, 1, 1]))
+        assert len(matrices) == 6
+
+    def test_max_matrices_guard(self):
+        with pytest.raises(ValidationError):
+            list(md.enumerate_matrices([10, 10, 10], [10, 10, 10], max_matrices=5))
+
+    def test_every_enumerated_matrix_is_valid(self):
+        rows, cols = [3, 1, 2], [2, 2, 2]
+        for matrix in md.enumerate_matrices(rows, cols):
+            assert cm.is_valid_communication_matrix(matrix, rows, cols)
+
+    def test_enumeration_with_zero_rows(self):
+        matrices = list(md.enumerate_matrices([0, 3], [1, 2]))
+        for m in matrices:
+            assert m[0].sum() == 0
+
+
+class TestMarginals:
+    def test_entry_distribution_parameters(self):
+        # Proposition 3: a_ij ~ h(m'_j, m_i, n - m_i)
+        t, w, b = md.entry_distribution(1, 0, [4, 6], [7, 3])
+        assert (t, w, b) == (7, 6, 4)
+
+    def test_entry_distribution_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            md.entry_distribution(2, 0, [4, 6], [7, 3])
+        with pytest.raises(ValidationError):
+            md.entry_distribution(0, 5, [4, 6], [7, 3])
+
+    def test_marginal_consistent_with_exact_law(self):
+        # Sum the exact joint law over matrices and compare the induced
+        # marginal of a_00 with the hypergeometric of Proposition 3.
+        rows, cols = [3, 2], [2, 3]
+        dist = md.exact_distribution(rows, cols)
+        marginal = {}
+        for key, prob in dist.items():
+            matrix = np.frombuffer(key, dtype=np.int64).reshape(2, 2)
+            marginal[int(matrix[0, 0])] = marginal.get(int(matrix[0, 0]), 0.0) + prob
+        t, w, b = md.entry_distribution(0, 0, rows, cols)
+        for value, prob in marginal.items():
+            assert prob == pytest.approx(hg.pmf(value, t, w, b), abs=1e-12)
+
+    def test_entry_marginal_pmf_helper(self):
+        value = md.entry_marginal_pmf(0, 0, [3, 2], [2, 3], 1)
+        assert 0.0 < value < 1.0
+
+
+class TestMergeBlocks:
+    def test_basic_merge(self):
+        matrix = np.arange(1, 10).reshape(3, 3)
+        merged = md.merge_blocks(matrix, [[0, 1], [2]], [[0], [1, 2]])
+        assert merged.tolist() == [[1 + 4, 2 + 3 + 5 + 6], [7, 8 + 9]]
+
+    def test_merge_requires_partition(self):
+        with pytest.raises(ValidationError):
+            md.merge_blocks(np.eye(3, dtype=int), [[0, 1]], [[0], [1], [2]])
+        with pytest.raises(ValidationError):
+            md.merge_blocks(np.eye(3, dtype=int), [[0, 1], [1, 2]], [[0], [1], [2]])
+
+    def test_merge_requires_2d(self):
+        with pytest.raises(ValidationError):
+            md.merge_blocks(np.arange(3), [[0]], [[0, 1, 2]])
+
+    def test_full_merge_gives_total(self):
+        matrix = cm.sample_matrix([4, 5], [3, 6], np.random.default_rng(0))
+        merged = md.merge_blocks(matrix, [[0, 1]], [[0, 1]])
+        assert merged.tolist() == [[9]]
+
+    def test_merge_preserves_marginal_structure(self):
+        rows, cols = [2, 3, 1], [2, 2, 2]
+        matrix = cm.sample_matrix(rows, cols, np.random.default_rng(1))
+        merged = md.merge_blocks(matrix, [[0, 1], [2]], [[0], [1, 2]])
+        assert merged.sum() == 6
+        assert merged.sum(axis=1).tolist() == [5, 1]
+        assert merged.sum(axis=0).tolist() == [2, 4]

@@ -1,0 +1,133 @@
+"""Unit tests for the multivariate hypergeometric module (Algorithm 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core import multivariate as mv
+from repro.rng.counting import CountingRNG
+from repro.util.errors import ValidationError
+
+
+class TestValidation:
+    def test_rejects_empty_classes(self):
+        with pytest.raises(ValidationError):
+            mv.sample_sequential(0, [])
+
+    def test_rejects_overdraw(self):
+        with pytest.raises(ValidationError):
+            mv.sample_sequential(10, [2, 3])
+
+    def test_rejects_negative_draws(self):
+        with pytest.raises(ValidationError):
+            mv.sample_sequential(-1, [2, 3])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            mv.sample(2, [2, 3], strategy="quantum")
+
+
+class TestExactQuantities:
+    def test_pmf_sums_to_one(self):
+        class_sizes = [3, 2, 2]
+        n_draws = 4
+        total = 0.0
+        for counts in itertools.product(range(5), repeat=3):
+            total += mv.pmf(list(counts), n_draws, class_sizes)
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_outside_support_zero(self):
+        assert mv.pmf([5, 0], 4, [3, 3]) == 0.0     # count exceeds class
+        assert mv.pmf([1, 1], 4, [3, 3]) == 0.0     # wrong total
+        assert mv.log_pmf([1, 1], 4, [3, 3]) == float("-inf")
+
+    def test_pmf_shape_validation(self):
+        with pytest.raises(ValidationError):
+            mv.pmf([1, 1, 1], 2, [3, 3])
+
+    def test_pmf_matches_product_formula(self):
+        # P[(2,1)] with sizes (3,4), 3 draws: C(3,2)C(4,1)/C(7,3)
+        expected = 3 * 4 / 35
+        assert mv.pmf([2, 1], 3, [3, 4]) == pytest.approx(expected)
+
+    def test_mean(self):
+        assert np.allclose(mv.mean(6, [2, 4, 6]), [1.0, 2.0, 3.0])
+
+    def test_covariance_properties(self):
+        cov = mv.covariance(5, [4, 6, 10])
+        # rows sum to ~0 because the counts sum to a constant
+        assert np.allclose(cov.sum(axis=1), 0.0, atol=1e-12)
+        assert np.all(np.diag(cov) >= 0)
+        # marginal variance matches the univariate hypergeometric variance
+        dist = scipy_stats.hypergeom(20, 4, 5)
+        assert cov[0, 0] == pytest.approx(dist.var())
+
+    def test_covariance_degenerate(self):
+        assert np.allclose(mv.covariance(1, [1]), 0.0)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("strategy", ["sequential", "recursive", "numpy"])
+    def test_counts_sum_to_draws(self, strategy, rng):
+        for _ in range(20):
+            counts = mv.sample(7, [4, 9, 2, 5], rng, strategy=strategy)
+            assert counts.sum() == 7
+            assert np.all(counts >= 0)
+            assert np.all(counts <= np.array([4, 9, 2, 5]))
+
+    @pytest.mark.parametrize("strategy", ["sequential", "recursive"])
+    def test_marginals_match_hypergeometric(self, strategy):
+        rng = np.random.default_rng(hash(strategy) % 2**32)
+        class_sizes = [6, 10, 8]
+        n_draws = 9
+        samples = np.array([mv.sample(n_draws, class_sizes, rng, strategy=strategy) for _ in range(3000)])
+        total = sum(class_sizes)
+        for i, size in enumerate(class_sizes):
+            dist = scipy_stats.hypergeom(total, size, n_draws)
+            assert abs(samples[:, i].mean() - dist.mean()) < 0.15
+            assert abs(samples[:, i].var() - dist.var()) < 0.3
+
+    def test_zero_draws_gives_zero_vector(self, rng):
+        assert mv.sample_sequential(0, [3, 4], rng).tolist() == [0, 0]
+
+    def test_full_draw_gives_class_sizes(self, rng):
+        assert mv.sample_sequential(7, [3, 4], rng).tolist() == [3, 4]
+
+    def test_single_class(self, rng):
+        assert mv.sample_sequential(3, [5], rng).tolist() == [3]
+
+    def test_recursive_leaf_size(self, rng):
+        counts = mv.sample_recursive(10, [3, 4, 5, 6], rng, leaf_size=2)
+        assert counts.sum() == 10
+
+    def test_sequential_and_recursive_same_distribution(self):
+        # Compare empirical distributions of the first coordinate.
+        class_sizes = [5, 5, 5]
+        n_draws = 7
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(12)
+        a = np.array([mv.sample_sequential(n_draws, class_sizes, rng_a)[0] for _ in range(4000)])
+        b = np.array([mv.sample_recursive(n_draws, class_sizes, rng_b)[0] for _ in range(4000)])
+        # Two-sample chi-square over the support
+        values = np.arange(0, 6)
+        table = np.array([[np.sum(a == v) for v in values], [np.sum(b == v) for v in values]])
+        keep = table.sum(axis=0) > 0
+        _, p_value, _, _ = scipy_stats.chi2_contingency(table[:, keep])
+        assert p_value > 1e-4
+
+    def test_numpy_strategy_with_counting_rng(self):
+        counting = CountingRNG(0)
+        counts = mv.sample(4, [3, 3, 3], counting, strategy="numpy")
+        assert counts.sum() == 4
+
+    def test_reproducible_with_seed(self):
+        a = mv.sample_sequential(9, [4, 7, 6], np.random.default_rng(3))
+        b = mv.sample_sequential(9, [4, 7, 6], np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_classes_with_zero_size(self, rng):
+        counts = mv.sample_sequential(4, [0, 5, 0, 5], rng)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts.sum() == 4

@@ -1,0 +1,107 @@
+"""Unit tests for the PRO-model quality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockDistribution
+from repro.core.permutation import permute_distributed
+from repro.pro.analysis import PROAssessment, SequentialReference, assess_run, granularity
+from repro.pro.cost import CostRecorder, CostReport
+from repro.pro.machine import PROMachine
+from repro.util.errors import ValidationError
+
+
+class TestSequentialReference:
+    def test_fisher_yates_reference(self):
+        ref = SequentialReference.fisher_yates(1000)
+        assert ref.operations == 1000
+        assert ref.memory_words == 1000
+        assert ref.random_variates == 999
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(ValidationError):
+            SequentialReference.fisher_yates(0)
+
+
+class TestAssessRun:
+    def _report(self, per_rank_ops, per_rank_words, per_rank_mem):
+        recorders = []
+        for rank, (ops, words, mem) in enumerate(zip(per_rank_ops, per_rank_words, per_rank_mem)):
+            rec = CostRecorder(rank)
+            rec.add_compute(ops)
+            rec.record_send(words)
+            rec.allocate(mem)
+            recorders.append(rec)
+        return CostReport(recorders)
+
+    def test_balanced_optimal_run_is_admissible(self):
+        report = self._report([250] * 4, [250] * 4, [260] * 4)
+        assessment = assess_run(report, SequentialReference.fisher_yates(1000))
+        assert assessment.work_optimal
+        assert assessment.space_optimal
+        assert assessment.balanced
+        assert assessment.admissible
+
+    def test_log_factor_work_is_flagged(self):
+        # 40x the sequential work is clearly not work-optimal.
+        report = self._report([10_000] * 4, [100] * 4, [300] * 4)
+        assessment = assess_run(report, SequentialReference.fisher_yates(1000))
+        assert not assessment.work_optimal
+        assert not assessment.admissible
+
+    def test_memory_blowup_is_flagged(self):
+        report = self._report([250] * 4, [100] * 4, [5000, 100, 100, 100])
+        assessment = assess_run(report, SequentialReference.fisher_yates(1000))
+        assert not assessment.space_optimal
+
+    def test_imbalance_is_flagged(self):
+        report = self._report([900, 10, 10, 10], [100] * 4, [200] * 4)
+        assessment = assess_run(report, SequentialReference.fisher_yates(1000))
+        assert not assessment.balanced
+
+    def test_zero_reference_rejected(self):
+        report = self._report([1], [1], [1])
+        with pytest.raises(ValidationError):
+            assess_run(report, SequentialReference(operations=0, memory_words=1))
+
+    def test_summary_table_mentions_verdict(self):
+        report = self._report([250] * 4, [250] * 4, [260] * 4)
+        assessment = assess_run(report, SequentialReference.fisher_yates(1000))
+        table = assessment.summary_table()
+        assert "PRO-admissible" in table
+
+    def test_real_algorithm1_run_is_admissible(self):
+        n, p = 8_000, 4
+        data = np.arange(n)
+        blocks = [b.copy() for b in BlockDistribution.balanced(n, p).split(data)]
+        machine = PROMachine(p, seed=0, count_random_variates=True)
+        _, run = permute_distributed(blocks, machine=machine)
+        assessment = assess_run(run.cost_report, SequentialReference.fisher_yates(n))
+        assert assessment.admissible, assessment.summary_table()
+
+    def test_sort_based_baseline_fails_work_optimality(self):
+        from repro.baselines.sort_based import sort_based_permutation
+        n = 8_000
+        _, run = sort_based_permutation(np.arange(n), n_procs=4, seed=1)
+        assessment = assess_run(run.cost_report, SequentialReference.fisher_yates(n))
+        assert not assessment.work_optimal
+
+
+class TestGranularity:
+    def test_alg6_is_sqrt_n(self):
+        assert granularity(10_000, matrix_algorithm="alg6") == pytest.approx(100.0)
+
+    def test_alg5_pays_a_log_factor(self):
+        g6 = granularity(1_000_000, matrix_algorithm="alg6")
+        g5 = granularity(1_000_000, matrix_algorithm="alg5")
+        assert g5 < g6
+
+    def test_root_is_cube_root(self):
+        assert granularity(1_000_000, matrix_algorithm="root") == pytest.approx(100.0)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValidationError):
+            granularity(100, matrix_algorithm="alg7")
+
+    def test_tiny_n(self):
+        assert granularity(1, matrix_algorithm="alg5") >= 1.0

@@ -1,0 +1,171 @@
+"""Unit tests for the random-number substrate (streams, counting, splitmix)."""
+
+import numpy as np
+import pytest
+
+from repro.rng.counting import CountingRNG
+from repro.rng.splitmix import SplitMix64
+from repro.rng.streams import StreamFactory, default_rng, spawn_streams
+from repro.util.errors import ValidationError
+
+
+class TestDefaultRng:
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = default_rng(7).integers(0, 100, 5)
+        b = default_rng(7).integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+
+class TestStreamFactory:
+    def test_reproducible_streams(self):
+        a = StreamFactory(42).processor_streams(3)
+        b = StreamFactory(42).processor_streams(3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.integers(0, 1000, 10), y.integers(0, 1000, 10))
+
+    def test_streams_differ_across_ranks(self):
+        streams = StreamFactory(42).processor_streams(4)
+        draws = [tuple(s.integers(0, 2**31, 8).tolist()) for s in streams]
+        assert len(set(draws)) == 4
+
+    def test_consecutive_spawns_differ(self):
+        factory = StreamFactory(42)
+        first = factory.processor_streams(2)
+        second = factory.processor_streams(2)
+        assert not np.array_equal(first[0].integers(0, 2**31, 8), second[0].integers(0, 2**31, 8))
+
+    def test_named_stream_reproducible_and_distinct(self):
+        f1, f2 = StreamFactory(1), StreamFactory(1)
+        a = f1.named_stream("matrix-root").integers(0, 2**31, 8)
+        b = f2.named_stream("matrix-root").integers(0, 2**31, 8)
+        c = f2.named_stream("other").integers(0, 2**31, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_named_stream_requires_name(self):
+        with pytest.raises(ValidationError):
+            StreamFactory(1).named_stream("")
+
+    def test_spawn_counts(self):
+        factory = StreamFactory(3)
+        children = factory.spawn(5)
+        assert len(children) == 5
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        assert StreamFactory(seq).seed_sequence is seq
+
+    def test_spawn_streams_helper(self):
+        streams = spawn_streams(5, 3)
+        assert len(streams) == 3
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValidationError):
+            StreamFactory(0).processor_streams(0)
+
+
+class TestCountingRNG:
+    def test_counts_scalar_uniforms(self):
+        rng = CountingRNG(0)
+        rng.random()
+        rng.random()
+        assert rng.uniforms_drawn == 2
+
+    def test_counts_vector_uniforms(self):
+        rng = CountingRNG(0)
+        rng.random(10)
+        assert rng.uniforms_drawn == 10
+
+    def test_counts_integers(self):
+        rng = CountingRNG(0)
+        rng.integers(0, 10, size=7)
+        assert rng.integers_drawn == 7
+
+    def test_shuffle_charges_n_minus_one(self):
+        rng = CountingRNG(0)
+        data = np.arange(10)
+        rng.shuffle(data)
+        assert rng.integers_drawn == 9
+
+    def test_permutation_charges_n_minus_one(self):
+        rng = CountingRNG(0)
+        rng.permutation(6)
+        assert rng.integers_drawn == 5
+
+    def test_total_and_reset(self):
+        rng = CountingRNG(0)
+        rng.random(3)
+        rng.integers(0, 5, size=2)
+        assert rng.total_variates == 5
+        rng.reset()
+        assert rng.total_variates == 0
+        assert rng.calls == 0
+
+    def test_values_match_wrapped_generator(self):
+        seed = 123
+        counting = CountingRNG(np.random.default_rng(seed))
+        plain = np.random.default_rng(seed)
+        assert np.allclose(counting.random(4), plain.random(4))
+
+    def test_rejects_non_generator(self):
+        with pytest.raises(ValidationError):
+            CountingRNG("not a generator")
+
+    def test_hypergeometric_forwarded(self):
+        rng = CountingRNG(0)
+        value = rng.hypergeometric(5, 5, 4)
+        assert 0 <= value <= 4
+        assert rng.uniforms_drawn == 1
+
+
+class TestSplitMix64:
+    def test_known_first_output(self):
+        # Reference value for seed 0 (SplitMix64 test vector).
+        assert SplitMix64(0).next_uint64() == 0xE220A8397B1DCDAF
+
+    def test_reproducible(self):
+        a, b = SplitMix64(99), SplitMix64(99)
+        assert [a.next_uint64() for _ in range(5)] == [b.next_uint64() for _ in range(5)]
+
+    def test_random_in_unit_interval(self):
+        rng = SplitMix64(5)
+        values = [rng.random() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_integers_in_range(self):
+        rng = SplitMix64(5)
+        values = [rng.integers(3, 9) for _ in range(200)]
+        assert min(values) >= 3 and max(values) < 9
+        assert set(values) == set(range(3, 9))  # all values hit with 200 draws
+
+    def test_integers_invalid_range(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).integers(5, 5)
+
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(7)
+        data = list(range(20))
+        rng.shuffle(data)
+        assert sorted(data) == list(range(20))
+
+    def test_spawn_differs_from_parent(self):
+        parent = SplitMix64(1)
+        child = parent.spawn()
+        assert parent.next_uint64() != child.next_uint64()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            SplitMix64(-1)
+
+    def test_draw_counter(self):
+        rng = SplitMix64(2)
+        rng.random()
+        rng.random()
+        assert rng.draws == 2

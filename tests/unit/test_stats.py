@@ -1,0 +1,201 @@
+"""Unit tests for the statistical validation subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.core import commmatrix as cm
+from repro.core import hypergeometric as hg
+from repro.core import multivariate as mv
+from repro.stats.hypergeom_tests import (
+    chi_square_hypergeometric,
+    chi_square_multivariate_marginals,
+    merge_small_cells,
+)
+from repro.stats.matrix_tests import (
+    chi_square_matrix_law,
+    entry_marginal_test,
+    merged_matrix_test,
+)
+from repro.stats.uniformity import (
+    chi_square_permutation_uniformity,
+    fixed_points_summary,
+    inversions_summary,
+    position_occupancy_test,
+)
+from repro.util.errors import ValidationError
+
+
+def numpy_permutation_sampler(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return lambda: rng.permutation(n)
+
+
+def biased_sampler(n, seed=0):
+    """A visibly non-uniform sampler: identity 50% of the time."""
+    rng = np.random.default_rng(seed)
+
+    def sampler():
+        if rng.random() < 0.5:
+            return np.arange(n)
+        return rng.permutation(n)
+
+    return sampler
+
+
+class TestMergeSmallCells:
+    def test_merges_until_threshold(self):
+        observed = np.array([1.0, 1, 1, 1, 20, 20])
+        expected = np.array([1.0, 1, 1, 1, 20, 20])
+        obs, exp = merge_small_cells(observed, expected, min_expected=5)
+        assert exp.min() >= 5
+        assert obs.sum() == observed.sum()
+
+    def test_trailing_small_cell_merged_left(self):
+        observed = np.array([10.0, 10, 1])
+        expected = np.array([10.0, 10, 1])
+        obs, exp = merge_small_cells(observed, expected, min_expected=5)
+        assert len(obs) == 2
+        assert exp[-1] == 11
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            merge_small_cells(np.ones(3), np.ones(4))
+
+    def test_too_little_mass(self):
+        with pytest.raises(ValidationError):
+            merge_small_cells(np.array([1.0]), np.array([1.0]))
+
+
+class TestChiSquareHypergeometric:
+    def test_correct_sampler_passes(self):
+        rng = np.random.default_rng(5)
+        samples = hg.sample_many(20, 30, 25, 2000, rng)
+        result = chi_square_hypergeometric(samples, 20, 30, 25)
+        assert result.p_value > 1e-4
+        assert not result.rejects_uniformity()
+
+    def test_wrong_distribution_fails(self):
+        rng = np.random.default_rng(6)
+        # Samples from a *different* parameter set should be rejected.
+        samples = hg.sample_many(20, 45, 10, 2000, rng)
+        result = chi_square_hypergeometric(samples, 20, 30, 25)
+        assert result.p_value < 1e-6
+
+    def test_out_of_support_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_hypergeometric(np.array([100]), 5, 10, 10)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_hypergeometric(np.array([]), 5, 10, 10)
+
+
+class TestMultivariateMarginals:
+    def test_correct_sampler_passes(self):
+        rng = np.random.default_rng(7)
+        class_sizes = [8, 12, 10]
+        samples = np.array([mv.sample_sequential(9, class_sizes, rng) for _ in range(1500)])
+        results = chi_square_multivariate_marginals(samples, 9, class_sizes)
+        assert len(results) == 3
+        assert all(r.p_value > 1e-4 for r in results)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            chi_square_multivariate_marginals(np.zeros((10, 2), dtype=int), 3, [2, 2, 2])
+
+
+class TestPermutationUniformity:
+    def test_numpy_shuffle_passes_exhaustive(self):
+        result = chi_square_permutation_uniformity(numpy_permutation_sampler(4, seed=1), 4, 3000)
+        assert result.p_value > 1e-4
+
+    def test_biased_sampler_fails_exhaustive(self):
+        result = chi_square_permutation_uniformity(biased_sampler(4, seed=2), 4, 3000)
+        assert result.p_value < 1e-6
+
+    def test_exhaustive_rejects_large_n(self):
+        with pytest.raises(ValidationError):
+            chi_square_permutation_uniformity(numpy_permutation_sampler(12), 12, 10)
+
+    def test_sampler_must_return_permutations(self):
+        with pytest.raises(ValidationError):
+            chi_square_permutation_uniformity(lambda: np.array([0, 0, 1]), 3, 5)
+
+    def test_sampler_size_checked(self):
+        with pytest.raises(ValidationError):
+            chi_square_permutation_uniformity(numpy_permutation_sampler(5), 4, 5)
+
+    def test_occupancy_numpy_passes(self):
+        result = position_occupancy_test(numpy_permutation_sampler(8, seed=3), 8, 2000)
+        assert result.p_value > 1e-4
+
+    def test_occupancy_biased_fails(self):
+        result = position_occupancy_test(biased_sampler(8, seed=4), 8, 2000)
+        assert result.p_value < 1e-6
+
+    def test_fixed_points_mean_one(self):
+        summary = fixed_points_summary(numpy_permutation_sampler(30, seed=5), 30, 2000)
+        assert abs(summary.z_score) < 5
+        assert summary.expected_mean == 1.0
+        assert summary.p_value > 1e-5
+
+    def test_fixed_points_identity_heavy_fails(self):
+        summary = fixed_points_summary(biased_sampler(30, seed=6), 30, 500)
+        assert abs(summary.z_score) > 10
+
+    def test_inversions_mean(self):
+        summary = inversions_summary(numpy_permutation_sampler(20, seed=7), 20, 1500)
+        assert summary.expected_mean == pytest.approx(20 * 19 / 4)
+        assert abs(summary.z_score) < 5
+
+    def test_inversions_biased_fails(self):
+        summary = inversions_summary(biased_sampler(20, seed=8), 20, 500)
+        assert abs(summary.z_score) > 10
+
+
+class TestMatrixLaw:
+    ROWS, COLS = [3, 2], [2, 3]
+
+    def test_correct_sampler_passes(self):
+        rng = np.random.default_rng(9)
+        result = chi_square_matrix_law(
+            lambda: cm.sample_matrix(self.ROWS, self.COLS, rng), self.ROWS, self.COLS, 4000
+        )
+        assert result.p_value > 1e-4
+
+    def test_wrong_sampler_fails(self):
+        rng = np.random.default_rng(10)
+
+        def bad_sampler():
+            # Always route as much as possible down the diagonal -- valid
+            # marginals, wrong distribution.
+            return np.array([[2, 1], [0, 2]])
+
+        result = chi_square_matrix_law(bad_sampler, self.ROWS, self.COLS, 500)
+        assert result.p_value < 1e-6
+
+    def test_invalid_matrix_detected(self):
+        def invalid_sampler():
+            return np.array([[3, 0], [0, 2]])
+        with pytest.raises(ValidationError):
+            chi_square_matrix_law(invalid_sampler, self.ROWS, self.COLS, 10)
+
+    def test_entry_marginal_test_passes(self):
+        rng = np.random.default_rng(11)
+        rows, cols = [6, 8, 4], [5, 5, 8]
+        matrices = [cm.sample_matrix(rows, cols, rng) for _ in range(1500)]
+        result = entry_marginal_test(matrices, 1, 2, rows, cols)
+        assert result.p_value > 1e-4
+
+    def test_entry_marginal_test_needs_matrices(self):
+        with pytest.raises(ValidationError):
+            entry_marginal_test([], 0, 0, [2], [2])
+
+    def test_merged_matrix_test_passes(self):
+        rng = np.random.default_rng(12)
+        rows, cols = [4, 4, 4, 4], [4, 4, 4, 4]
+        matrices = [cm.sample_matrix(rows, cols, rng) for _ in range(1500)]
+        result = merged_matrix_test(
+            matrices, [[0, 1], [2, 3]], [[0, 1], [2, 3]], rows, cols
+        )
+        assert result.p_value > 1e-4

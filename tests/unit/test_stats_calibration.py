@@ -1,0 +1,54 @@
+"""Calibration tests for the occupancy uniformity statistic.
+
+The occupancy test compares the Pearson statistic of summed permutation
+matrices against a rescaled chi-square (see the docstring of
+``position_occupancy_test``).  These tests verify the calibration itself:
+under the null (NumPy's uniform shuffler) the p-values must be neither
+systematically tiny (over-rejection) nor systematically huge
+(under-rejection / loss of power).
+"""
+
+import numpy as np
+
+from repro.stats.uniformity import position_occupancy_test
+
+
+def _pvalues(n, n_seeds, n_samples):
+    values = []
+    for seed in range(n_seeds):
+        rng = np.random.default_rng(1_000 + seed)
+        result = position_occupancy_test(lambda: rng.permutation(n), n, n_samples)
+        values.append(result.p_value)
+    return values
+
+
+class TestOccupancyCalibration:
+    def test_null_p_values_not_clustered_low(self):
+        values = _pvalues(10, 8, 1200)
+        # With a correctly calibrated statistic, seeing all eight p-values
+        # below 0.2 has probability ~2.5e-6; the old, uncorrected statistic
+        # produced exactly that failure mode.
+        assert max(values) > 0.2
+
+    def test_null_p_values_not_clustered_high(self):
+        values = _pvalues(10, 8, 1200)
+        # Symmetrically, all values above 0.8 would indicate an over-wide
+        # reference distribution (loss of power).
+        assert min(values) < 0.8
+
+    def test_statistic_mean_matches_dof(self):
+        # The rescaled statistic should have mean ~ (n-1)^2 under the null.
+        n, n_samples = 8, 1500
+        stats = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            result = position_occupancy_test(lambda: rng.permutation(n), n, n_samples)
+            stats.append(result.statistic)
+        mean = float(np.mean(stats))
+        dof = (n - 1) ** 2
+        assert 0.75 * dof < mean < 1.25 * dof
+
+    def test_single_item_degenerate_case(self):
+        rng = np.random.default_rng(0)
+        result = position_occupancy_test(lambda: rng.permutation(1), 1, 50)
+        assert result.p_value == 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for the interconnect topology models."""
+
+import pytest
+
+from repro.pro.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    topology_from_name,
+)
+from repro.util.errors import ValidationError
+
+
+class TestFullyConnected:
+    def test_hops_self_zero(self):
+        assert FullyConnected(4).hops(2, 2) == 0
+
+    def test_hops_distinct_one(self):
+        topo = FullyConnected(4)
+        assert all(topo.hops(i, j) == 1 for i in range(4) for j in range(4) if i != j)
+
+    def test_diameter(self):
+        assert FullyConnected(6).diameter() == 1
+
+    def test_bisection_width(self):
+        assert FullyConnected(4).bisection_width() == 4  # 2 * 2 links
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            FullyConnected(3).hops(0, 3)
+
+    def test_single_node(self):
+        assert FullyConnected(1).diameter() == 0
+        assert FullyConnected(1).average_hops() == 0.0
+
+
+class TestRing:
+    def test_neighbours(self):
+        topo = Ring(6)
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 5) == 1  # wrap-around
+
+    def test_opposite_side(self):
+        assert Ring(6).hops(0, 3) == 3
+
+    def test_diameter(self):
+        assert Ring(8).diameter() == 4
+        assert Ring(7).diameter() == 3
+
+    def test_bisection(self):
+        assert Ring(8).bisection_width() == 2
+
+
+class TestMesh2D:
+    def test_grid_shape(self):
+        topo = Mesh2D(6)
+        assert topo.rows * topo.cols >= 6
+
+    def test_manhattan_distance(self):
+        topo = Mesh2D(9)  # 3 x 3
+        assert topo.hops(0, 8) == 4
+        assert topo.hops(0, 4) == 2
+
+    def test_diameter_monotone(self):
+        assert Mesh2D(16).diameter() >= Mesh2D(4).diameter()
+
+    def test_bisection_positive(self):
+        assert Mesh2D(16).bisection_width() >= 1
+
+
+class TestHypercube:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValidationError):
+            Hypercube(6)
+
+    def test_dimension(self):
+        assert Hypercube(8).dimension == 3
+
+    def test_hops_is_hamming_distance(self):
+        topo = Hypercube(8)
+        assert topo.hops(0b000, 0b111) == 3
+        assert topo.hops(0b010, 0b011) == 1
+
+    def test_diameter_equals_dimension(self):
+        assert Hypercube(16).diameter() == 4
+
+    def test_bisection(self):
+        assert Hypercube(8).bisection_width() == 4
+
+
+class TestTopologyFromName:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("fully-connected", FullyConnected),
+            ("full", FullyConnected),
+            ("crossbar", FullyConnected),
+            ("ring", Ring),
+            ("mesh", Mesh2D),
+            ("MESH2D", Mesh2D),
+            ("hypercube", Hypercube),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(topology_from_name(name, 4), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            topology_from_name("torus9d", 4)
+
+    def test_average_hops_bounds(self):
+        topo = topology_from_name("ring", 6)
+        assert 1.0 <= topo.average_hops() <= topo.diameter()

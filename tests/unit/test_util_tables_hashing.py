@@ -1,0 +1,118 @@
+"""Unit tests for repro.util.tables and repro.util.hashing."""
+
+import itertools
+from math import factorial
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.hashing import (
+    is_permutation,
+    lehmer_rank,
+    lehmer_unrank,
+    permutation_fingerprint,
+)
+from repro.util.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].endswith("bb")
+
+    def test_title_included(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1].startswith("|---")
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestIsPermutation:
+    def test_identity(self):
+        assert is_permutation(np.arange(5))
+
+    def test_shuffled(self):
+        assert is_permutation([2, 0, 1, 4, 3])
+
+    def test_empty(self):
+        assert is_permutation(np.array([], dtype=np.int64))
+
+    def test_duplicate_rejected(self):
+        assert not is_permutation([0, 1, 1])
+
+    def test_out_of_range_rejected(self):
+        assert not is_permutation([0, 1, 3])
+
+    def test_negative_rejected(self):
+        assert not is_permutation([-1, 0, 1])
+
+    def test_floats_rejected(self):
+        assert not is_permutation(np.array([0.0, 1.0]))
+
+    def test_2d_rejected(self):
+        assert not is_permutation(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestLehmerRank:
+    def test_identity_is_zero(self):
+        assert lehmer_rank([0, 1, 2, 3]) == 0
+
+    def test_reverse_is_max(self):
+        assert lehmer_rank([3, 2, 1, 0]) == factorial(4) - 1
+
+    def test_bijection_n4(self):
+        ranks = {lehmer_rank(list(p)) for p in itertools.permutations(range(4))}
+        assert ranks == set(range(factorial(4)))
+
+    def test_unrank_roundtrip(self):
+        for rank in range(factorial(5)):
+            perm = lehmer_unrank(rank, 5)
+            assert lehmer_rank(perm) == rank
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValidationError):
+            lehmer_rank([0, 0, 1])
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValidationError):
+            lehmer_unrank(factorial(4), 4)
+
+
+class TestPermutationFingerprint:
+    def test_deterministic(self):
+        assert permutation_fingerprint([1, 2, 3]) == permutation_fingerprint([1, 2, 3])
+
+    def test_order_sensitive(self):
+        assert permutation_fingerprint([1, 2, 3]) != permutation_fingerprint([3, 2, 1])
+
+    def test_different_lengths_differ(self):
+        assert permutation_fingerprint([1]) != permutation_fingerprint([1, 1])
+
+    def test_fits_in_64_bits(self):
+        assert permutation_fingerprint(list(range(100))) < 2 ** 64

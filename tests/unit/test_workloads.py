@@ -1,0 +1,102 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.workloads.generators import (
+    balanced_block_sizes,
+    integer_vector,
+    load_balancing_scenario,
+    matrix_marginals,
+    record_vector,
+    skewed_block_sizes,
+)
+
+
+class TestIntegerVector:
+    def test_distinct_is_arange(self):
+        assert np.array_equal(integer_vector(5), np.arange(5))
+
+    def test_dtype_respected(self):
+        assert integer_vector(5, dtype=np.int32).dtype == np.int32
+
+    def test_non_distinct_reproducible(self):
+        a = integer_vector(100, distinct=False, seed=1)
+        b = integer_vector(100, distinct=False, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_zero_items(self):
+        assert integer_vector(0).size == 0
+
+
+class TestRecordVector:
+    def test_fields_and_shape(self):
+        records = record_vector(10, payload_words=4, seed=0)
+        assert records.shape == (10,)
+        assert records["payload"].shape == (10, 4)
+        assert np.array_equal(records["key"], np.arange(10))
+
+    def test_payload_words_positive(self):
+        with pytest.raises(ValidationError):
+            record_vector(10, payload_words=0)
+
+
+class TestBlockSizes:
+    def test_balanced(self):
+        assert balanced_block_sizes(10, 4).tolist() == [3, 3, 2, 2]
+
+    def test_skewed_totals(self):
+        sizes = skewed_block_sizes(1000, 8, skew=4.0)
+        assert sizes.sum() == 1000
+        assert sizes[0] > sizes[-1]
+
+    def test_skew_ratio_roughly_respected(self):
+        sizes = skewed_block_sizes(10000, 4, skew=5.0)
+        assert sizes[0] / max(sizes[-1], 1) > 2.0
+
+    def test_skew_one_is_flat(self):
+        sizes = skewed_block_sizes(100, 4, skew=1.0)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_skew_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            skewed_block_sizes(100, 4, skew=0.5)
+
+
+class TestMatrixMarginals:
+    def test_balanced(self):
+        rows, cols = matrix_marginals(4, 10, layout="balanced")
+        assert rows.tolist() == [10] * 4
+        assert cols.tolist() == [10] * 4
+
+    def test_uneven_totals_match(self):
+        rows, cols = matrix_marginals(5, 20, layout="uneven", seed=1)
+        assert rows.sum() == cols.sum() == 100
+
+    def test_gather_concentrates_targets(self):
+        rows, cols = matrix_marginals(6, 10, layout="gather")
+        assert rows.sum() == cols.sum() == 60
+        assert np.count_nonzero(cols) == 3
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValidationError):
+            matrix_marginals(4, 10, layout="spiral")
+
+
+class TestLoadBalancingScenario:
+    def test_shapes_and_totals(self):
+        blocks, target = load_balancing_scenario(200, 4, skew=3.0, seed=0)
+        assert len(blocks) == 4
+        assert sum(len(b) for b in blocks) == 200
+        assert target.sum() == 200
+        assert max(len(b) for b in blocks) > min(len(b) for b in blocks)
+
+    def test_costs_are_positive(self):
+        blocks, _ = load_balancing_scenario(50, 2, seed=1)
+        assert all((b > 0).all() for b in blocks if len(b))
+
+    def test_reproducible(self):
+        a, _ = load_balancing_scenario(100, 4, seed=3)
+        b, _ = load_balancing_scenario(100, 4, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
