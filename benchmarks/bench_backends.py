@@ -1,0 +1,73 @@
+"""Backend comparison: inline vs thread vs process wall-time.
+
+Times the two driver-level workloads -- communication-matrix sampling on a
+PRO machine and the distributed permutation (Algorithm 1) -- on every
+execution backend at several ``(n, p)`` points.  Run with
+``--benchmark-json`` to get the same pytest-benchmark JSON shape as the
+rest of the suite (one record per (workload, backend, n, p) with the
+parameters echoed in ``extra_info``).
+
+Reading the numbers: the thread backend wins at these in-process problem
+sizes (rank start-up is microseconds and NumPy releases the GIL), while the
+process backend pays process spawn plus buffer serialisation per run --
+its advantage is *true* parallelism for compute-heavy pure-Python ranks,
+not small-n latency.  The inline rows (p == 1 only) are the no-overhead
+sequential reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_matrix import sample_matrix_parallel
+from repro.core.permutation import random_permutation
+
+#: (n_items, n_procs) grid; inline only participates where p == 1.
+POINTS = [(20_000, 1), (20_000, 2), (20_000, 4), (100_000, 4)]
+BACKENDS = ["inline", "thread", "process"]
+
+
+def _skip_if_incompatible(backend, n_procs):
+    if backend == "inline" and n_procs != 1:
+        pytest.skip("the inline backend only runs single-rank machines")
+
+
+@pytest.mark.benchmark(group="backends-matrix")
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n_items,n_procs", POINTS)
+def test_benchmark_matrix_sampling_backends(benchmark, backend, n_items, n_procs):
+    _skip_if_incompatible(backend, n_procs)
+    row_sums = np.full(n_procs, n_items // n_procs, dtype=np.int64)
+    benchmark.extra_info.update({"backend": backend, "n": n_items, "p": n_procs})
+
+    def run():
+        matrix, _ = sample_matrix_parallel(
+            row_sums, algorithm="alg6" if n_procs > 1 else "root",
+            backend=backend, seed=0,
+        )
+        return matrix
+
+    matrix = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert matrix.sum() == row_sums.sum()
+
+
+@pytest.mark.benchmark(group="backends-permutation")
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n_items,n_procs", POINTS)
+def test_benchmark_permutation_backends(benchmark, backend, n_items, n_procs):
+    _skip_if_incompatible(backend, n_procs)
+    data = np.arange(n_items, dtype=np.int64)
+    benchmark.extra_info.update({"backend": backend, "n": n_items, "p": n_procs})
+
+    def run():
+        return random_permutation(data, n_procs=n_procs, backend=backend, seed=0)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert out.shape == data.shape
+
+
+def test_backends_agree_for_fixed_seed():
+    """Smoke-level determinism check inside the benchmark suite."""
+    row_sums = np.full(4, 500, dtype=np.int64)
+    thread_matrix, _ = sample_matrix_parallel(row_sums, backend="thread", seed=9)
+    process_matrix, _ = sample_matrix_parallel(row_sums, backend="process", seed=9)
+    assert np.array_equal(thread_matrix, process_matrix)

@@ -167,14 +167,17 @@ def measured_scaling_table(
     seed=0,
     repeats: int = 1,
     matrix_algorithm: str = "root",
+    backend: str = "thread",
 ) -> list[dict]:
-    """Measured (thread backend) scaling of the real implementation.
+    """Measured scaling of the real implementation on ``backend``.
 
     The sequential reference is NumPy's compiled Fisher-Yates
     (``Generator.permutation``), the same reference the PRO analysis uses.
-    Note that in-process threads share one memory system and one GIL for the
-    non-NumPy parts, so like the paper's shared-memory runs the exchange
-    does not scale linearly -- which is exactly the effect T1 documents.
+    With the default thread backend the ranks share one memory system and
+    one GIL for the non-NumPy parts, so like the paper's shared-memory runs
+    the exchange does not scale linearly -- which is exactly the effect T1
+    documents; the process backend removes the GIL from the equation at the
+    price of per-run process start-up and serialised exchanges.
     """
     n_items = check_positive_int(n_items, "n_items")
     rng = default_rng(seed)
@@ -188,7 +191,7 @@ def measured_scaling_table(
     }]
     for p in proc_counts:
         p = check_positive_int(p, "proc count")
-        machine = PROMachine(p, seed=seed)
+        machine = PROMachine(p, seed=seed, backend=backend)
 
         def run_once():
             return random_permutation(

@@ -32,11 +32,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backend_kwargs = dict(
+        choices=["thread", "process", "inline"], default="thread",
+        help="execution backend: thread (default), process (one OS process per rank) "
+             "or inline (p == 1 only); results are seed-identical across backends",
+    )
+
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
     permute.add_argument("--procs", type=int, default=4, help="number of virtual processors")
     permute.add_argument("--seed", type=int, default=None, help="machine seed")
     permute.add_argument("--matrix-algorithm", choices=["root", "alg5", "alg6"], default="root")
+    permute.add_argument("--backend", **backend_kwargs)
     permute.add_argument("--head", type=int, default=10, help="how many output items to print")
 
     matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
@@ -44,8 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated source block sizes, e.g. 10,10,10")
     matrix.add_argument("--target-sizes", type=str, default=None,
                         help="comma-separated target block sizes (default: same as --sizes)")
-    matrix.add_argument("--algorithm", choices=["sequential", "recursive", "alg5", "alg6", "root"],
-                        default="sequential")
+    matrix.add_argument("--algorithm",
+                        choices=["sequential", "recursive", "batched", "alg5", "alg6", "root"],
+                        default="sequential",
+                        help="sequential/recursive/batched sample in-process; "
+                             "alg5/alg6/root run on a PRO machine")
+    matrix.add_argument("--backend", choices=["thread", "process", "inline"], default=None,
+                        help="execution backend for alg5/alg6/root (default thread); "
+                             "rejected for the in-process algorithms")
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -55,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="measure the real implementation on N items on this machine")
     scaling.add_argument("--procs", type=str, default="2,4,8",
                          help="comma-separated processor counts for --measure")
+    scaling.add_argument("--backend", choices=["thread", "process"], default="thread",
+                         help="execution backend for --measure runs")
 
     uniformity = sub.add_parser("uniformity", help="chi-square uniformity test of the parallel permutation")
     uniformity.add_argument("--n", type=int, default=4, help="permutation size (<= 8 for the exhaustive test)")
@@ -82,13 +97,15 @@ def _cmd_permute(args) -> int:
     from repro.core.permutation import permute_distributed
     from repro.pro.machine import PROMachine
 
-    machine = PROMachine(args.procs, seed=args.seed, count_random_variates=True)
+    machine = PROMachine(
+        args.procs, seed=args.seed, backend=args.backend, count_random_variates=True
+    )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
     out_blocks, run = permute_distributed(blocks, machine=machine, matrix_algorithm=args.matrix_algorithm)
     out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)
     print(f"permuted {args.n} items on {args.procs} virtual processors "
-          f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, in-process)")
+          f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, {args.backend} backend)")
     print(f"first {min(args.head, args.n)} output items: {out[:args.head].tolist()}")
     print(run.cost_report.summary_table())
     return 0
@@ -103,6 +120,7 @@ def _cmd_matrix(args) -> int:
     matrix = sample_communication_matrix(
         sizes, targets, parallel=parallel,
         algorithm=args.algorithm if args.algorithm != "sequential" or parallel else None,
+        backend=args.backend,  # the API rejects backend= for the in-process path
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "
@@ -133,9 +151,12 @@ def _cmd_scaling(args) -> int:
         did_something = True
     if args.measure is not None:
         procs = _parse_sizes(args.procs)
-        rows = measured_scaling_table(args.measure, proc_counts=procs, repeats=1)
-        print(format_scaling_rows(rows, seconds_key="measured_seconds",
-                                  title=f"Measured on this machine ({args.measure} items)"))
+        rows = measured_scaling_table(
+            args.measure, proc_counts=procs, repeats=1, backend=args.backend
+        )
+        print(format_scaling_rows(
+            rows, seconds_key="measured_seconds",
+            title=f"Measured on this machine ({args.measure} items, {args.backend} backend)"))
         did_something = True
     return 0 if did_something else 1
 

@@ -33,6 +33,7 @@ def sample_communication_matrix(
     parallel: bool = False,
     machine: PROMachine | None = None,
     algorithm: str | None = None,
+    backend: str | object | None = None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -49,17 +50,32 @@ def sample_communication_matrix(
         permutation induces (Problem 2 of the paper).
     parallel:
         When False (default) sample sequentially in the calling process
-        (Algorithm 3 / 4 according to ``algorithm``); when True run one of
-        the parallel algorithms on a PRO machine.
+        (Algorithm 3 / 4 / the batched engine kernel according to
+        ``algorithm``); when True run one of the parallel algorithms on a
+        PRO machine.
     machine:
         Machine to use for the parallel path (one is created when omitted).
     algorithm:
-        Sequential path: ``"sequential"`` (default) or ``"recursive"``.
+        Sequential path: ``"sequential"`` (default), ``"recursive"`` or
+        ``"batched"`` (vectorized :class:`~repro.core.engine.SamplerEngine`
+        kernels; same law, fastest for large marginals).
         Parallel path: ``"alg5"``, ``"alg6"`` (default) or ``"root"``.
+    backend:
+        Execution backend for the parallel path (``"inline"``, ``"thread"``,
+        ``"process"`` or any registered name); forwarded to the machine
+        built when ``machine`` is omitted and mutually exclusive with
+        ``machine``.  For a fixed ``seed`` the matrix is identical across
+        backends.  Rejected for the sequential path, which runs no machine.
     seed, rng:
-        ``rng`` (a generator) is used for the sequential path; ``seed``
-        seeds the machine (parallel) or a fresh generator (sequential,
-        when ``rng`` is not given).
+        Randomness source.  Precedence is explicit:
+
+        * sequential path: ``rng`` (a generator, advanced in place) wins
+          when given; otherwise a fresh generator is derived from ``seed``
+          (``None`` means OS entropy).
+        * parallel path: per-rank streams are always derived from ``seed``;
+          a single shared ``rng`` cannot serve independent ranks, so passing
+          ``rng`` with ``parallel=True`` raises
+          :class:`~repro.util.errors.ValidationError`.
     method:
         Hypergeometric sampling method (``"auto"``, ``"hin"``, ``"hrua"``,
         ``"numpy"``).
@@ -71,14 +87,25 @@ def sample_communication_matrix(
     """
     if not parallel:
         strategy = algorithm or "sequential"
-        if strategy not in ("sequential", "recursive"):
+        if strategy not in ("sequential", "recursive", "batched"):
             raise ValidationError(
-                f"sequential sampling supports 'sequential' or 'recursive', got {strategy!r}"
+                "sequential sampling supports 'sequential', 'recursive' or "
+                f"'batched', got {strategy!r}"
+            )
+        if backend is not None:
+            raise ValidationError(
+                "backend= only applies to parallel=True (the sequential path "
+                "runs in the calling process)"
             )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
             generator, method=method, strategy=strategy,
+        )
+    if rng is not None:
+        raise ValidationError(
+            "rng= only applies to the sequential path; the parallel path derives "
+            "independent per-rank streams from seed="
         )
     parallel_algorithm = algorithm or "alg6"
     matrix, _ = sample_matrix_parallel(
@@ -86,6 +113,7 @@ def sample_communication_matrix(
         col_sums,
         machine=machine,
         algorithm=parallel_algorithm,
+        backend=backend,
         seed=seed,
         method=method,
     )

@@ -44,7 +44,7 @@ from math import floor, lgamma, log, sqrt
 import numpy as np
 
 from repro.rng.streams import default_rng
-from repro.util.errors import DistributionError, ValidationError
+from repro.util.errors import ValidationError
 from repro.util.validation import check_nonnegative_int
 
 __all__ = [
@@ -68,9 +68,8 @@ __all__ = [
 _D1 = 1.7155277699214135
 _D2 = 0.8989161620588988
 
-# Below this (transformed) sample size the inverse method needs fewer
-# uniforms than the rejection method on average.
-_HIN_THRESHOLD = 10
+# The HIN-vs-HRUA* selection threshold lives in repro.core.engine
+# (SamplerEngine.hin_threshold), the single owner of method dispatch.
 
 # Thread-local stack of active SampleRecorder instances (see SampleRecorder).
 _RECORDERS = threading.local()
@@ -330,6 +329,9 @@ def sample(t: int, w: int, b: int, rng=None, *, method: str = "auto") -> int:
         ``"auto"`` (default), ``"hin"``, ``"hrua"`` or ``"numpy"`` (delegate
         to ``Generator.hypergeometric``; handy as an independent oracle).
     """
+    from repro.core.engine import get_engine  # deferred: engine imports this module
+
+    engine = get_engine(method)  # raises ValidationError for unknown names
     t, w, b = _validate_parameters(t, w, b)
     rng = default_rng(rng) if not hasattr(rng, "random") else rng
     recorder = _active_recorder()
@@ -338,22 +340,11 @@ def sample(t: int, w: int, b: int, rng=None, *, method: str = "auto") -> int:
     trivial = _trivial_sample(t, w, b)
     if trivial is not None:
         result = trivial
-    elif method == "numpy":
-        if not hasattr(rng, "hypergeometric"):
-            raise DistributionError("the provided rng does not expose hypergeometric()")
-        result = int(rng.hypergeometric(w, b, t))
-    elif method == "hin":
-        result = sample_hin(t, w, b, rng)
-    elif method == "hrua":
-        result = sample_hrua(t, w, b, rng)
-    elif method != "auto":
-        raise ValidationError(f"unknown method {method!r}; use auto, hin, hrua or numpy")
-    elif t <= _HIN_THRESHOLD:
-        # The inverse method consumes at most t uniforms, so it wins for
-        # small t; the rejection method has bounded expected cost otherwise.
-        result = sample_hin(t, w, b, rng)
     else:
-        result = sample_hrua(t, w, b, rng)
+        # Method selection is owned by the engine (one policy for the whole
+        # library); HIN wins for small t because it consumes at most t
+        # uniforms, the rejection method has bounded expected cost otherwise.
+        result = engine.draw_nontrivial(t, w, b, rng)
 
     if recorder is not None:
         used = 0

@@ -200,14 +200,22 @@ def sample(n_draws: int, class_sizes, rng=None, *, method: str = "auto", strateg
     """Sample ``MVH(n_draws, class_sizes)``.
 
     ``strategy`` selects the call tree: ``"sequential"`` (Algorithm 2,
-    default), ``"recursive"`` (balanced splitting) or ``"numpy"`` (delegate
-    to ``Generator.multivariate_hypergeometric``, useful as an independent
+    default), ``"recursive"`` (balanced splitting), ``"batched"`` (the
+    balanced splitting evaluated with vectorized NumPy kernels by the
+    :class:`~repro.core.engine.SamplerEngine` -- same law, ``O(log p)``
+    kernel calls) or ``"numpy"`` (delegate to
+    ``Generator.multivariate_hypergeometric``, useful as an independent
     oracle in tests).
     """
     if strategy == "sequential":
         return sample_sequential(n_draws, class_sizes, rng, method=method)
     if strategy == "recursive":
         return sample_recursive(n_draws, class_sizes, rng, method=method)
+    if strategy == "batched":
+        from repro.core.engine import get_engine
+
+        n_draws, class_sizes = _validate(n_draws, class_sizes)
+        return get_engine(method).multivariate(n_draws, class_sizes, rng)
     if strategy == "numpy":
         n_draws, class_sizes = _validate(n_draws, class_sizes)
         generator = default_rng(rng) if not hasattr(rng, "random") else rng
@@ -217,5 +225,5 @@ def sample(n_draws: int, class_sizes, rng=None, *, method: str = "auto", strateg
             generator.multivariate_hypergeometric(class_sizes, n_draws), dtype=np.int64
         )
     raise ValidationError(
-        f"unknown strategy {strategy!r}; use 'sequential', 'recursive' or 'numpy'"
+        f"unknown strategy {strategy!r}; use 'sequential', 'recursive', 'batched' or 'numpy'"
     )

@@ -38,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import commmatrix, multivariate
-from repro.pro.machine import PROMachine, ProcessorContext, RunResult
+from repro.pro.machine import PROMachine, ProcessorContext, RunResult, resolve_machine
 from repro.util.errors import ValidationError
 from repro.util.validation import check_same_total, check_vector_of_nonnegative_ints
 
@@ -135,12 +135,22 @@ def final_tile_ranges(n_procs: int, n_rows: int, n_cols: int) -> list[tuple[int,
     return tiles
 
 
-def algorithm6_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+def algorithm6_program(
+    ctx: ProcessorContext,
+    row_sums,
+    col_sums,
+    *,
+    method: str = "auto",
+    tile_strategy: str = "sequential",
+) -> np.ndarray:
     """SPMD program: return row ``ctx.rank`` of a random communication matrix.
 
     Implements Algorithm 6 of the paper: alternating-dimension splitting of
-    the marginals (steps 1-2), sequential sampling of the resulting tile
-    (step 3) and redistribution of the rows to their owners (step 4).
+    the marginals (steps 1-2), sampling of the resulting tile (step 3) and
+    redistribution of the rows to their owners (step 4).  ``tile_strategy``
+    selects the step-3 sampler (``"sequential"``, ``"recursive"`` or
+    ``"batched"`` -- the vectorized engine kernel, the hot path for large
+    tiles); all choices draw from the same law.
     """
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     rank, p = ctx.rank, ctx.n_procs
@@ -194,7 +204,9 @@ def algorithm6_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str
         beta[0] = np.zeros(row_hi - row_lo, dtype=np.int64)
     if beta[1] is None:
         beta[1] = np.zeros(col_hi - col_lo, dtype=np.int64)
-    tile = commmatrix.sample_matrix_sequential(beta[0], beta[1], ctx.rng, method=method)
+    tile = commmatrix.sample_matrix(
+        beta[0], beta[1], ctx.rng, method=method, strategy=tile_strategy
+    )
     ctx.log_compute(tile.size)
 
     # Step 4: redistribute so that processor i receives the full row i.
@@ -214,16 +226,27 @@ def algorithm6_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str
 # ----------------------------------------------------------------------------
 # Root-based sampling (what the paper's experiments used)
 # ----------------------------------------------------------------------------
-def root_scatter_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+def root_scatter_program(
+    ctx: ProcessorContext,
+    row_sums,
+    col_sums,
+    *,
+    method: str = "auto",
+    tile_strategy: str = "sequential",
+) -> np.ndarray:
     """SPMD program: processor 0 samples the whole matrix, rows are scattered.
 
     Per-processor cost ``O(p^2)`` on the root and ``O(p)`` elsewhere; fine as
     long as ``p^2`` is small compared with the local data size ``n / p``
-    (exactly the regime of the paper's experiments).
+    (exactly the regime of the paper's experiments).  ``tile_strategy``
+    selects the root's sampler (``"sequential"``, ``"recursive"`` or the
+    vectorized ``"batched"`` engine kernel).
     """
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     if ctx.rank == 0:
-        matrix = commmatrix.sample_matrix_sequential(rows, cols, ctx.rng, method=method)
+        matrix = commmatrix.sample_matrix(
+            rows, cols, ctx.rng, method=method, strategy=tile_strategy
+        )
         ctx.log_compute(matrix.size)
         row_payloads = [matrix[i, :] for i in range(ctx.n_procs)]
     else:
@@ -247,8 +270,10 @@ def sample_matrix_parallel(
     *,
     machine: PROMachine | None = None,
     algorithm: str = "alg6",
+    backend: str | object | None = None,
     seed=None,
     method: str = "auto",
+    tile_strategy: str = "sequential",
 ) -> tuple[np.ndarray, RunResult]:
     """Sample a communication matrix on a PRO machine and assemble it.
 
@@ -261,11 +286,20 @@ def sample_matrix_parallel(
         Target block sizes (defaults to ``row_sums``).
     machine:
         Optional pre-configured :class:`~repro.pro.PROMachine`; when omitted
-        a thread-backed machine with ``len(row_sums)`` processors is built.
+        a machine with ``len(row_sums)`` processors is built on ``backend``.
     algorithm:
         ``"alg5"``, ``"alg6"`` (default) or ``"root"``.
+    backend:
+        Execution backend name (``"inline"``, ``"thread"``, ``"process"`` or
+        any registered name) for the machine built when ``machine`` is
+        omitted; mutually exclusive with ``machine``.  For a fixed ``seed``
+        the sampled matrix is identical across backends.
     seed:
         Machine seed used when ``machine`` is omitted.
+    tile_strategy:
+        Local-tile sampler used by ``"alg6"`` (step 3) and ``"root"``:
+        ``"sequential"``, ``"recursive"`` or ``"batched"`` (vectorized
+        engine kernels).
 
     Returns
     -------
@@ -280,13 +314,21 @@ def sample_matrix_parallel(
         raise ValidationError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(MATRIX_ALGORITHMS)}"
         )
-    if machine is None:
-        machine = PROMachine(rows.size, seed=seed)
+    machine = resolve_machine(rows.size, machine=machine, backend=backend, seed=seed)
     if machine.n_procs != rows.size:
         raise ValidationError(
             f"machine has {machine.n_procs} processors but row_sums has {rows.size} entries"
         )
     program = MATRIX_ALGORITHMS[algorithm]
-    run = machine.run(program, rows, cols, method=method)
+    if algorithm in ("alg6", "root"):
+        extra = {"tile_strategy": tile_strategy}
+    elif tile_strategy != "sequential":
+        raise ValidationError(
+            f"tile_strategy={tile_strategy!r} only applies to 'alg6' and 'root'; "
+            "'alg5' samples no local tile"
+        )
+    else:
+        extra = {}
+    run = machine.run(program, rows, cols, method=method, **extra)
     matrix = np.vstack([np.asarray(row, dtype=np.int64) for row in run.results])
     return matrix, run

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.blocks import BlockDistribution
 from repro.core.parallel_matrix import MATRIX_ALGORITHMS
-from repro.pro.machine import PROMachine, ProcessorContext, RunResult
+from repro.pro.machine import PROMachine, ProcessorContext, RunResult, resolve_machine
 from repro.rng.streams import default_rng
 from repro.util.errors import ValidationError
 from repro.util.validation import (
@@ -157,20 +157,22 @@ def permute_distributed(
     target_sizes=None,
     matrix_algorithm: str = "root",
     method: str = "auto",
+    backend: str | object | None = None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
 
     ``blocks`` is a list with one array per processor.  A machine with
-    ``len(blocks)`` processors is created when none is supplied.  The
-    returned blocks follow ``target_sizes`` (defaulting to the input sizes);
-    the second element of the returned pair is the machine's
+    ``len(blocks)`` processors is created when none is supplied, on
+    ``backend`` (``"thread"`` default; ``"process"`` runs one OS process per
+    rank and yields bit-identical output for the same seed).  The returned
+    blocks follow ``target_sizes`` (defaulting to the input sizes); the
+    second element of the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
     """
     if len(blocks) == 0:
         raise ValidationError("permute_distributed needs at least one block")
-    if machine is None:
-        machine = PROMachine(len(blocks), seed=seed)
+    machine = resolve_machine(len(blocks), machine=machine, backend=backend, seed=seed)
     if machine.n_procs != len(blocks):
         raise ValidationError(
             f"machine has {machine.n_procs} processors but {len(blocks)} blocks were given"
@@ -192,6 +194,7 @@ def random_permutation(
     machine: PROMachine | None = None,
     matrix_algorithm: str = "root",
     method: str = "auto",
+    backend: str | object | None = None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -231,6 +234,7 @@ def random_permutation(
         machine=machine,
         matrix_algorithm=matrix_algorithm,
         method=method,
+        backend=backend,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -243,6 +247,7 @@ def random_permutation_indices(
     *,
     machine: PROMachine | None = None,
     matrix_algorithm: str = "root",
+    backend: str | object | None = None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
@@ -258,5 +263,6 @@ def random_permutation_indices(
         n_procs=n_procs,
         machine=machine,
         matrix_algorithm=matrix_algorithm,
+        backend=backend,
         seed=seed,
     )

@@ -12,6 +12,18 @@ environment (SSCRAP on top of MPI / shared memory).  It provides
 
 * :class:`~repro.pro.machine.PROMachine` -- run an SPMD program on ``p``
   virtual processors,
+* :mod:`~repro.pro.backends` -- the pluggable execution-backend registry.
+  Backends are selected by name (``backend="inline" | "thread" |
+  "process"``) everywhere a machine is built -- drivers, CLI, bench
+  harness -- and new ones are added with
+  :func:`~repro.pro.backends.registry.register_backend`.  The contract a
+  backend must honour (fabric semantics ``put``/``get``/``barrier_wait``/
+  ``abort``, error-propagation rules mirroring the thread backend's
+  abort-the-barrier behaviour, cost/variate repatriation for backends
+  outside the calling address space) is documented in
+  :mod:`repro.pro.backends.registry`.  For a fixed machine seed, results
+  are bit-identical across backends because the per-rank streams are
+  derived in the parent and shipped to wherever the rank runs,
 * :class:`~repro.pro.communicator.Communicator` -- message passing
   (point-to-point and collective operations built from point-to-point),
 * :mod:`~repro.pro.cost` -- per-processor, per-superstep resource accounting
@@ -28,6 +40,13 @@ machine on any number of virtual processors.
 """
 
 from repro.pro.analysis import PROAssessment, SequentialReference, assess_run, granularity
+from repro.pro.backends.registry import (
+    BackendCapabilities,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+)
 from repro.pro.machine import PROMachine, ProcessorContext, RunResult
 from repro.pro.communicator import Communicator
 from repro.pro.cost import (
@@ -49,6 +68,11 @@ __all__ = [
     "PROMachine",
     "ProcessorContext",
     "RunResult",
+    "BackendCapabilities",
+    "available_backends",
+    "backend_capabilities",
+    "get_backend",
+    "register_backend",
     "PROAssessment",
     "SequentialReference",
     "assess_run",

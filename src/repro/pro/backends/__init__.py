@@ -1,19 +1,57 @@
 """Execution backends for the PRO machine.
 
 A backend takes an SPMD program (a callable ``program(ctx, *args, **kwargs)``)
-and executes one copy per virtual processor:
+and executes one copy per virtual processor.  Backends are *pluggable*: they
+live in a registry (:mod:`repro.pro.backends.registry`) keyed by name, and
+everything above the machine layer -- the drivers, the CLI, the bench
+harness -- selects one with ``backend="inline" | "thread" | "process"`` (or
+any custom registered name).
 
-* :class:`~repro.pro.backends.thread.ThreadBackend` -- one Python thread per
-  rank; ranks run concurrently and communicate through the message fabric.
-  This is the default and the only backend that allows blocking point-to-
-  point patterns between ranks (Algorithms 5 and 6 need it).
-* :class:`~repro.pro.backends.inline.InlineBackend` -- runs a *single* rank in
-  the calling thread; used for ``p = 1`` runs (the sequential reference
-  inside the same harness) and for micro-benchmarks where thread start-up
-  costs would drown the signal.
+Built-in backends:
+
+* :class:`~repro.pro.backends.thread.ThreadBackend` (``"thread"``) -- one
+  Python thread per rank; ranks run concurrently and communicate through the
+  in-process message fabric.  This is the default; NumPy releases the GIL for
+  the bulk work so threads do overlap, and it supports the blocking point-to-
+  point patterns of Algorithms 5 and 6.
+* :class:`~repro.pro.backends.process.ProcessBackend` (``"process"``) -- one
+  OS process per rank with a multiprocessing-queue fabric; true hardware
+  parallelism without a shared GIL.  Results are bit-identical to the other
+  backends for a given machine seed.
+* :class:`~repro.pro.backends.inline.InlineBackend` (``"inline"``) -- runs a
+  *single* rank in the calling thread; used for ``p = 1`` runs (the
+  sequential reference inside the same harness) and for micro-benchmarks
+  where thread start-up costs would drown the signal.
+
+See :mod:`repro.pro.backends.registry` for the backend contract (fabric
+semantics, error-propagation rules) and for how to register your own.
 """
 
+from repro.pro.backends.registry import (
+    BackendCapabilities,
+    BackendSpec,
+    ExecutionBackend,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.pro.backends.thread import ThreadBackend
 from repro.pro.backends.inline import InlineBackend
+from repro.pro.backends.process import ProcessBackend, ProcessFabric
 
-__all__ = ["ThreadBackend", "InlineBackend"]
+__all__ = [
+    "BackendCapabilities",
+    "BackendSpec",
+    "ExecutionBackend",
+    "ThreadBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ProcessFabric",
+    "available_backends",
+    "backend_capabilities",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

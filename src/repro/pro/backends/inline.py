@@ -11,15 +11,26 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.pro.backends.registry import (
+    BackendCapabilities,
+    ExecutionBackend,
+    register_backend,
+)
 from repro.util.errors import BackendError
 
 __all__ = ["InlineBackend"]
 
 
-class InlineBackend:
+class InlineBackend(ExecutionBackend):
     """Run a one-processor program in the calling thread."""
 
     name = "inline"
+    capabilities = BackendCapabilities(
+        multirank=False,
+        blocking_p2p=False,
+        true_parallelism=False,
+        shared_address_space=True,
+    )
 
     def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:
         """Execute the single-rank program and return ``[result]``."""
@@ -29,3 +40,10 @@ class InlineBackend:
                 "use the thread backend for multi-processor runs"
             )
         return [program(contexts[0], *args, **kwargs)]
+
+
+register_backend(
+    "inline",
+    InlineBackend,
+    description="single rank in the calling thread (p == 1 only)",
+)

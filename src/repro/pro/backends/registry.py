@@ -1,0 +1,236 @@
+"""Execution-backend registry: the pluggable substrate of the PRO machine.
+
+The machine layer (:class:`~repro.pro.machine.PROMachine`), the drivers
+(:func:`~repro.core.parallel_matrix.sample_matrix_parallel`,
+:func:`~repro.core.permutation.permute_distributed`), the CLI and the bench
+harness all select their execution substrate by *name* through this module,
+so a new backend becomes available everywhere by registering it once.
+
+Backend contract
+----------------
+A backend is any object with
+
+``name``
+    A short identifier (``"inline"``, ``"thread"``, ``"process"``, ...).
+``capabilities``
+    A :class:`BackendCapabilities` record the machine uses for validation
+    (e.g. a backend with ``multirank=False`` is rejected for ``p > 1``).
+``create_fabric(n_procs, *, timeout)``
+    Build the message fabric the ranks of one run communicate through.  The
+    returned object must implement the :class:`~repro.pro.communicator.
+    MessageFabric` interface (``put`` / ``get`` / ``barrier_wait`` /
+    ``abort`` plus ``n_procs`` and ``timeout`` attributes); the default of
+    :class:`ExecutionBackend` returns the in-process fabric shared by the
+    inline and thread backends.
+``run(contexts, program, args, kwargs)``
+    Execute ``program(ctx, *args, **kwargs)`` once per context and return
+    the per-rank results ordered by rank.
+
+Error-propagation rules (all backends mirror the thread backend):
+
+* when any rank raises, the fabric's barrier is aborted so sibling ranks
+  blocked in ``barrier()`` or a blocking receive fail fast instead of
+  timing out;
+* after all ranks have stopped, the *root cause* is re-raised in the
+  caller's thread: the first rank (by rank order) that failed with a real
+  error is preferred over ranks that merely observed the broken barrier
+  (a :class:`~repro.util.errors.CommunicationError`);
+* plain exceptions are wrapped in :class:`~repro.util.errors.BackendError`
+  with the rank recorded in the message; ``KeyboardInterrupt`` and friends
+  propagate unchanged where the backend can preserve them.
+
+Backends that execute ranks outside the calling address space (the process
+backend) must additionally ship each rank's :class:`~repro.pro.cost.
+CostRecorder` state and random-variate counts back to the caller and fold
+them into the contexts before ``run`` returns, so that cost reports stay
+backend-independent.
+
+Registering a backend
+---------------------
+::
+
+    from repro.pro.backends.registry import (
+        BackendCapabilities, ExecutionBackend, register_backend,
+    )
+
+    class MyBackend(ExecutionBackend):
+        name = "my-backend"
+        capabilities = BackendCapabilities(multirank=True, ...)
+        def run(self, contexts, program, args, kwargs):
+            ...
+
+    register_backend("my-backend", MyBackend,
+                     description="one rank per <whatever>")
+
+    PROMachine(4, backend="my-backend")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.pro.communicator import MessageFabric
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendSpec",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "backend_capabilities",
+    "available_backends",
+    "resolve_backend",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend can and cannot do.
+
+    Attributes
+    ----------
+    multirank:
+        The backend can execute programs with more than one rank.  Backends
+        without it (inline) are rejected by the machine for ``p > 1``.
+    blocking_p2p:
+        Ranks may block in ``recv``/``barrier`` waiting for one another
+        (required by the head/worker protocols of Algorithms 5 and 6).
+    true_parallelism:
+        Ranks run on separate OS schedulable entities that are not
+        serialised by the CPython GIL for pure-Python work.
+    shared_address_space:
+        Ranks share the caller's address space: programs may close over
+        arbitrary objects and mutate shared state.  Backends without it
+        (process) require picklable programs/arguments and ship results,
+        cost records and variate counts back explicitly.
+    """
+
+    multirank: bool = True
+    blocking_p2p: bool = True
+    true_parallelism: bool = False
+    shared_address_space: bool = True
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry: how to build a backend and what it promises."""
+
+    name: str
+    factory: Callable[..., "ExecutionBackend"]
+    capabilities: BackendCapabilities
+    description: str = ""
+
+
+class ExecutionBackend:
+    """Base class for execution backends (subclassing is optional).
+
+    Provides the default in-process message fabric; subclasses override
+    :meth:`run` and, when ranks live outside the calling address space,
+    :meth:`create_fabric` as well.
+    """
+
+    name = "abstract"
+    capabilities = BackendCapabilities()
+
+    def create_fabric(self, n_procs: int, *, timeout: float) -> MessageFabric:
+        """Build the message fabric one run's ranks communicate through."""
+        return MessageFabric(n_procs, timeout=timeout)
+
+    def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:
+        """Execute ``program`` once per context; return per-rank results."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------------
+# The registry proper
+# ----------------------------------------------------------------------------
+# The built-in backends register themselves at import time (each module
+# calls register_backend at its bottom), and importing this module always
+# executes the repro.pro.backends package __init__ first, which imports all
+# three -- so by the time any lookup below can run, the builtins are there.
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., ExecutionBackend],
+    *,
+    capabilities: BackendCapabilities | None = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> BackendSpec:
+    """Register ``factory`` (usually the backend class) under ``name``.
+
+    ``capabilities`` defaults to the factory's class-level ``capabilities``
+    attribute.  Re-registering an existing name raises unless
+    ``overwrite=True`` (useful in tests that stub a backend).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ValidationError(f"backend factory for {name!r} must be callable")
+    if name in _REGISTRY and not overwrite:
+        raise ValidationError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    if capabilities is None:
+        capabilities = getattr(factory, "capabilities", None)
+    if not isinstance(capabilities, BackendCapabilities):
+        raise ValidationError(
+            f"backend {name!r} needs BackendCapabilities (given or as a factory attribute)"
+        )
+    spec = BackendSpec(
+        name=name, factory=factory, capabilities=capabilities, description=description
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (intended for test clean-up)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are forwarded to the factory (e.g.
+    ``get_backend("process", start_method="spawn")``).
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered backends: {', '.join(available_backends())}"
+        )
+    return spec.factory(**options)
+
+
+def backend_capabilities(name: str) -> BackendCapabilities:
+    """Capability flags of the backend registered under ``name``."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered backends: {', '.join(available_backends())}"
+        )
+    return spec.capabilities
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(backend: str | ExecutionBackend) -> ExecutionBackend:
+    """Turn a backend name or instance into a validated backend instance.
+
+    This is what :class:`~repro.pro.machine.PROMachine` calls: strings go
+    through the registry, objects are accepted as-is provided they expose a
+    ``run()`` method (duck-typed custom backends remain supported).
+    """
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if not hasattr(backend, "run"):
+        raise ValidationError("a backend object must expose a run() method")
+    return backend

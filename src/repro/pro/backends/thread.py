@@ -19,15 +19,26 @@ from __future__ import annotations
 import threading
 from typing import Callable, Sequence
 
+from repro.pro.backends.registry import (
+    BackendCapabilities,
+    ExecutionBackend,
+    register_backend,
+)
 from repro.util.errors import BackendError
 
 __all__ = ["ThreadBackend"]
 
 
-class ThreadBackend:
+class ThreadBackend(ExecutionBackend):
     """Run one thread per rank and collect per-rank results or errors."""
 
     name = "thread"
+    capabilities = BackendCapabilities(
+        multirank=True,
+        blocking_p2p=True,
+        true_parallelism=False,
+        shared_address_space=True,
+    )
 
     def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:
         """Execute ``program(ctx, *args, **kwargs)`` for every context.
@@ -73,3 +84,10 @@ class ThreadBackend:
                 raise BackendError(f"rank {rank} failed: {exc!r}") from exc
             raise exc  # KeyboardInterrupt and friends propagate unchanged
         return results
+
+
+register_backend(
+    "thread",
+    ThreadBackend,
+    description="one Python thread per rank sharing the caller's address space",
+)

@@ -33,8 +33,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.pro.backends.inline import InlineBackend
-from repro.pro.backends.thread import ThreadBackend
+from repro.pro.backends.registry import resolve_backend
 from repro.pro.communicator import Communicator, MessageFabric
 from repro.pro.cost import CostRecorder, CostReport, MachineParameters
 from repro.pro.topology import FullyConnected, Topology, topology_from_name
@@ -43,7 +42,7 @@ from repro.rng.streams import StreamFactory
 from repro.util.errors import ValidationError
 from repro.util.validation import check_positive_int
 
-__all__ = ["ProcessorContext", "RunResult", "PROMachine"]
+__all__ = ["ProcessorContext", "RunResult", "PROMachine", "resolve_machine"]
 
 
 @dataclass
@@ -104,8 +103,13 @@ class PROMachine:
         per-processor streams are derived.  Two machines built with the same
         seed and the same ``n_procs`` produce identical runs.
     backend:
-        ``"thread"`` (default), ``"inline"`` (only for ``n_procs == 1``) or an
-        object with a ``run(contexts, program, args, kwargs)`` method.
+        A backend name from the registry -- ``"thread"`` (default),
+        ``"process"`` (one OS process per rank) or ``"inline"`` (only for
+        ``n_procs == 1``) -- or an object with a
+        ``run(contexts, program, args, kwargs)`` method (see
+        :mod:`repro.pro.backends.registry` for the full contract).  For a
+        fixed ``seed`` the per-rank streams, and hence the results, are
+        identical across backends.
     topology:
         Interconnect model used by the analytic time predictions; a
         :class:`~repro.pro.topology.Topology` instance or a name
@@ -143,23 +147,24 @@ class PROMachine:
         else:
             self.topology = topology_from_name(str(topology), self.n_procs)
 
-        if isinstance(backend, str):
-            if backend == "thread":
-                self.backend = ThreadBackend()
-            elif backend == "inline":
-                self.backend = InlineBackend()
-            else:
-                raise ValidationError(f"unknown backend {backend!r}; use 'thread' or 'inline'")
-        else:
-            if not hasattr(backend, "run"):
-                raise ValidationError("a backend object must expose a run() method")
-            self.backend = backend
-        if isinstance(self.backend, InlineBackend) and self.n_procs != 1:
-            raise ValidationError("the inline backend requires n_procs == 1")
+        self.backend = resolve_backend(backend)
+        capabilities = getattr(self.backend, "capabilities", None)
+        if (
+            capabilities is not None
+            and not capabilities.multirank
+            and self.n_procs != 1
+        ):
+            raise ValidationError(
+                f"the {getattr(self.backend, 'name', '?')} backend requires n_procs == 1"
+            )
 
     # -- running programs -------------------------------------------------------
     def _build_contexts(self) -> list[ProcessorContext]:
-        fabric = MessageFabric(self.n_procs, timeout=self.timeout)
+        make_fabric = getattr(self.backend, "create_fabric", None)
+        if make_fabric is not None:
+            fabric = make_fabric(self.n_procs, timeout=self.timeout)
+        else:  # duck-typed custom backend without a fabric hook
+            fabric = MessageFabric(self.n_procs, timeout=self.timeout)
         streams = self._stream_factory.processor_streams(self.n_procs)
         contexts = []
         for rank in range(self.n_procs):
@@ -222,3 +227,29 @@ class PROMachine:
             f"PROMachine(n_procs={self.n_procs}, backend={self.backend.name!r}, "
             f"topology={type(self.topology).__name__})"
         )
+
+
+def resolve_machine(
+    n_procs: int,
+    *,
+    machine: PROMachine | None = None,
+    backend: str | object | None = None,
+    seed=None,
+) -> PROMachine:
+    """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
+
+    This is the shared machine-or-backend resolution of the driver layer
+    (:func:`~repro.core.parallel_matrix.sample_matrix_parallel`,
+    :func:`~repro.core.permutation.permute_distributed`): passing both a
+    pre-configured machine and a backend name is rejected because the
+    machine already fixes its backend.
+    """
+    if machine is None:
+        return PROMachine(
+            n_procs, seed=seed, backend="thread" if backend is None else backend
+        )
+    if backend is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or a backend name, not both"
+        )
+    return machine

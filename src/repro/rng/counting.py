@@ -106,11 +106,19 @@ class CountingRNG:
         self._generator.shuffle(x)
 
     def hypergeometric(self, ngood, nbad, nsample, size=None):
-        """NumPy's hypergeometric sampler (used only as a cross-check oracle).
+        """NumPy's hypergeometric sampler (oracle and batched-kernel path).
 
-        Charged one uniform per scalar sample: the true consumption of the
-        library sampler is what :mod:`repro.core.hypergeometric` reports.
+        Charged one uniform per scalar sample drawn; with ``size=None`` and
+        array arguments (the vectorized form the batched engine kernels
+        use) the charge is the broadcast shape's element count.  The true
+        uniform consumption of the library's own scalar samplers is what
+        :mod:`repro.core.hypergeometric` reports.
         """
         self.calls += 1
-        self.uniforms_drawn += _size_to_count(size)
+        if size is None:
+            self.uniforms_drawn += int(
+                np.broadcast(np.asarray(ngood), np.asarray(nbad), np.asarray(nsample)).size
+            )
+        else:
+            self.uniforms_drawn += _size_to_count(size)
         return self._generator.hypergeometric(ngood, nbad, nsample, size)

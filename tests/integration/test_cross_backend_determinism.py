@@ -1,0 +1,110 @@
+"""Cross-backend determinism: same seed => bit-identical results everywhere.
+
+The per-rank random streams are derived in the parent machine and shipped to
+wherever the rank executes, so the inline, thread and process backends must
+produce exactly the same matrices and permutations for a fixed seed.  These
+tests pin that contract (it is what makes the process backend a drop-in
+replacement rather than a different sampler).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import sample_communication_matrix
+from repro.core.parallel_matrix import sample_matrix_parallel
+from repro.core.permutation import random_permutation
+from repro.pro.machine import PROMachine
+from repro.util.errors import ValidationError
+
+ALGORITHMS = ["alg5", "alg6", "root"]
+MULTI_RANK_BACKENDS = ["thread", "process"]
+ALL_BACKENDS = ["inline", "thread", "process"]
+
+
+class TestMatrixDeterminism:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_backends_agree_at_p1(self, algorithm):
+        matrices = [
+            sample_matrix_parallel([12], [5, 7], algorithm=algorithm, backend=backend, seed=33)[0]
+            for backend in ALL_BACKENDS
+        ]
+        for matrix in matrices[1:]:
+            assert np.array_equal(matrices[0], matrix)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n_procs", [2, 4, 5])
+    def test_thread_and_process_identical(self, algorithm, n_procs):
+        row_sums = np.arange(1, n_procs + 1) * 3
+        matrices = {}
+        for backend in MULTI_RANK_BACKENDS:
+            matrices[backend], _ = sample_matrix_parallel(
+                row_sums, algorithm=algorithm, backend=backend, seed=101
+            )
+        assert np.array_equal(matrices["thread"], matrices["process"])
+        assert np.array_equal(matrices["thread"].sum(axis=1), row_sums)
+
+    @pytest.mark.parametrize("tile_strategy", ["sequential", "batched"])
+    def test_alg6_tile_strategies_backend_invariant(self, tile_strategy):
+        matrices = [
+            sample_matrix_parallel(
+                [6, 6, 6, 6], algorithm="alg6", backend=backend, seed=7,
+                tile_strategy=tile_strategy,
+            )[0]
+            for backend in MULTI_RANK_BACKENDS
+        ]
+        assert np.array_equal(matrices[0], matrices[1])
+
+    def test_api_level_acceptance(self):
+        """sample_communication_matrix(..., backend=...) end-to-end parity."""
+        reference = None
+        for backend in MULTI_RANK_BACKENDS:
+            matrix = sample_communication_matrix(
+                [8, 8, 8, 8], parallel=True, backend=backend, seed=2003
+            )
+            if reference is None:
+                reference = matrix
+            else:
+                assert np.array_equal(reference, matrix)
+        inline = sample_communication_matrix([24], [8, 8, 8], parallel=True,
+                                             backend="inline", seed=2003)
+        assert inline.sum() == 24
+
+    def test_backend_and_machine_mutually_exclusive(self):
+        machine = PROMachine(2, seed=0)
+        with pytest.raises(ValidationError):
+            sample_matrix_parallel([4, 4], machine=machine, backend="process")
+
+    def test_tile_strategy_rejected_for_alg5(self):
+        with pytest.raises(ValidationError, match="alg5"):
+            sample_matrix_parallel([4, 4], algorithm="alg5", seed=0,
+                                   tile_strategy="batched")
+
+    def test_rng_rejected_on_parallel_path(self):
+        with pytest.raises(ValidationError, match="per-rank"):
+            sample_communication_matrix(
+                [4, 4], parallel=True, rng=np.random.default_rng(0)
+            )
+
+    def test_backend_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            sample_communication_matrix([4, 4], backend="process")
+
+
+class TestPermutationDeterminism:
+    def test_thread_and_process_permute_identically(self):
+        data = np.arange(60, dtype=np.int64)
+        outputs = [
+            random_permutation(data, n_procs=4, backend=backend, seed=11)
+            for backend in MULTI_RANK_BACKENDS
+        ]
+        assert np.array_equal(outputs[0], outputs[1])
+        assert sorted(outputs[0].tolist()) == list(range(60))
+
+    @pytest.mark.parametrize("matrix_algorithm", ALGORITHMS)
+    def test_matrix_algorithm_choice_backend_invariant(self, matrix_algorithm):
+        data = np.arange(30, dtype=np.int64)
+        a = random_permutation(data, n_procs=3, backend="thread",
+                               matrix_algorithm=matrix_algorithm, seed=5)
+        b = random_permutation(data, n_procs=3, backend="process",
+                               matrix_algorithm=matrix_algorithm, seed=5)
+        assert np.array_equal(a, b)

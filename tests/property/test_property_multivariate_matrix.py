@@ -39,7 +39,7 @@ def marginal_pair(draw):
 
 
 class TestMultivariateProperties:
-    @given(instance=mvh_instance(), strategy=st.sampled_from(["sequential", "recursive"]))
+    @given(instance=mvh_instance(), strategy=st.sampled_from(["sequential", "recursive", "batched"]))
     @settings(max_examples=120, deadline=None)
     def test_counts_sum_and_respect_capacities(self, instance, strategy):
         n_draws, sizes, seed = instance
@@ -63,7 +63,7 @@ class TestMultivariateProperties:
 
 
 class TestMatrixProperties:
-    @given(pair=marginal_pair(), strategy=st.sampled_from(["sequential", "recursive"]))
+    @given(pair=marginal_pair(), strategy=st.sampled_from(["sequential", "recursive", "batched"]))
     @settings(max_examples=100, deadline=None)
     def test_marginals_hold(self, pair, strategy):
         rows, cols, seed = pair

@@ -1,0 +1,64 @@
+"""Property tests for Algorithm 6's deterministic tile layout.
+
+``final_tile_ranges`` is the shared map every processor recomputes locally
+to know which tile each rank ends up with; the redistribution step is only
+correct if those tiles *exactly* partition the ``p x p'`` grid -- including
+for non-power-of-two processor counts, where the alternating halving
+produces unequal tiles.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parallel_matrix import final_tile_ranges
+
+
+@st.composite
+def tile_instance(draw):
+    n_procs = draw(st.integers(min_value=1, max_value=24))
+    n_rows = n_procs  # one matrix row per processor, as Algorithm 6 requires
+    n_cols = draw(st.integers(min_value=1, max_value=31))
+    return n_procs, n_rows, n_cols
+
+
+class TestFinalTileRanges:
+    @given(instance=tile_instance())
+    @settings(max_examples=200, deadline=None)
+    def test_tiles_exactly_partition_the_grid(self, instance):
+        n_procs, n_rows, n_cols = instance
+        tiles = final_tile_ranges(n_procs, n_rows, n_cols)
+        assert len(tiles) == n_procs
+        coverage = np.zeros((n_rows, n_cols), dtype=np.int64)
+        for row_lo, row_hi, col_lo, col_hi in tiles:
+            assert 0 <= row_lo <= row_hi <= n_rows
+            assert 0 <= col_lo <= col_hi <= n_cols
+            coverage[row_lo:row_hi, col_lo:col_hi] += 1
+        # every cell covered exactly once: no gaps, no overlaps
+        assert np.all(coverage == 1)
+
+    @given(instance=tile_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_redistribution_pieces_tile_each_row(self, instance):
+        """The pieces rank i receives in step 4 cover its row exactly once.
+
+        A matrix row may be split across several owners' column ranges
+        (alternating splits make that the common case for p > 2); the
+        redistribution is correct iff, for every row, those column ranges
+        are disjoint and their union is [0, n_cols).
+        """
+        n_procs, n_rows, n_cols = instance
+        tiles = final_tile_ranges(n_procs, n_rows, n_cols)
+        for row in range(n_rows):
+            pieces = sorted(
+                (col_lo, col_hi)
+                for row_lo, row_hi, col_lo, col_hi in tiles
+                if row_lo <= row < row_hi
+            )
+            cursor = 0
+            for col_lo, col_hi in pieces:
+                assert col_lo == cursor
+                cursor = col_hi
+            assert cursor == n_cols
+
+    def test_single_processor_owns_everything(self):
+        assert final_tile_ranges(1, 1, 9) == [(0, 1, 0, 9)]

@@ -1,0 +1,121 @@
+"""Unit tests for the execution-backend registry."""
+
+import pytest
+
+from repro.pro.backends import (
+    BackendCapabilities,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.pro.backends.registry import unregister_backend
+from repro.pro.machine import PROMachine
+from repro.util.errors import ValidationError
+
+
+class TestRegistryLookups:
+    def test_builtins_are_registered(self):
+        names = available_backends()
+        assert {"inline", "thread", "process"} <= set(names)
+
+    def test_get_backend_builds_instances(self):
+        assert isinstance(get_backend("inline"), InlineBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_get_backend_forwards_options(self):
+        backend = get_backend("process", shutdown_grace=1.5)
+        assert backend.shutdown_grace == 1.5
+
+    def test_unknown_name_rejected_with_choices(self):
+        with pytest.raises(ValidationError, match="thread"):
+            get_backend("gpu")
+
+    def test_capabilities_by_name(self):
+        assert backend_capabilities("inline").multirank is False
+        assert backend_capabilities("thread").multirank is True
+        assert backend_capabilities("thread").true_parallelism is False
+        process = backend_capabilities("process")
+        assert process.true_parallelism is True
+        assert process.shared_address_space is False
+
+    def test_capabilities_unknown_name(self):
+        with pytest.raises(ValidationError):
+            backend_capabilities("gpu")
+
+
+class TestRegistration:
+    def test_register_and_use_custom_backend(self):
+        class EchoBackend(ExecutionBackend):
+            name = "echo-test"
+            capabilities = BackendCapabilities(multirank=False, blocking_p2p=False)
+
+            def run(self, contexts, program, args, kwargs):
+                return [program(ctx, *args, **kwargs) for ctx in contexts]
+
+        register_backend("echo-test", EchoBackend, description="test backend")
+        try:
+            machine = PROMachine(1, backend="echo-test", seed=0)
+            assert machine.run(lambda ctx: ctx.rank + 40).results == [40]
+        finally:
+            unregister_backend("echo-test")
+
+    def test_duplicate_name_rejected_without_overwrite(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_backend("thread", ThreadBackend)
+
+    def test_overwrite_allowed_explicitly(self):
+        spec = register_backend(
+            "thread-dup-test", ThreadBackend, description="first"
+        )
+        try:
+            assert spec.description == "first"
+            spec = register_backend(
+                "thread-dup-test", ThreadBackend, description="second", overwrite=True
+            )
+            assert spec.description == "second"
+        finally:
+            unregister_backend("thread-dup-test")
+
+    def test_factory_without_capabilities_rejected(self):
+        with pytest.raises(ValidationError, match="BackendCapabilities"):
+            register_backend("broken-test", lambda: object())
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValidationError):
+            register_backend("", ThreadBackend)
+        with pytest.raises(ValidationError):
+            register_backend(None, ThreadBackend)
+
+
+class TestResolveBackend:
+    def test_string_goes_through_registry(self):
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+
+    def test_instances_pass_through(self):
+        backend = ThreadBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_object_without_run_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_backend(object())
+
+
+class TestMachineIntegration:
+    def test_machine_rejects_multirank_on_inline(self):
+        with pytest.raises(ValidationError, match="n_procs == 1"):
+            PROMachine(2, backend="inline")
+
+    def test_machine_accepts_every_builtin_at_p1(self):
+        for name in ("inline", "thread", "process"):
+            machine = PROMachine(1, backend=name, seed=0)
+            assert machine.run(lambda ctx: ctx.n_procs).results == [1]
+
+    def test_repr_names_backend(self):
+        assert "process" in repr(PROMachine(2, backend="process"))
