@@ -168,6 +168,7 @@ def measured_scaling_table(
     repeats: int = 1,
     matrix_algorithm: str = "root",
     backend: str = "thread",
+    transport: str | None = None,
 ) -> list[dict]:
     """Measured scaling of the real implementation on ``backend``.
 
@@ -191,7 +192,8 @@ def measured_scaling_table(
     }]
     for p in proc_counts:
         p = check_positive_int(p, "proc count")
-        machine = PROMachine(p, seed=seed, backend=backend)
+        options = {} if transport is None else {"transport": transport}
+        machine = PROMachine(p, seed=seed, backend=backend, backend_options=options)
 
         def run_once():
             return random_permutation(

@@ -37,6 +37,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend: thread (default), process (one OS process per rank) "
              "or inline (p == 1 only); results are seed-identical across backends",
     )
+    transport_kwargs = dict(
+        choices=["sharedmem", "pickle"], default=None,
+        help="payload transport of the process backend: sharedmem (zero-copy "
+             "shared-memory segments, the default) or pickle (queue-borne "
+             "buffers); rejected for other backends, seed-identical results",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -44,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     permute.add_argument("--seed", type=int, default=None, help="machine seed")
     permute.add_argument("--matrix-algorithm", choices=["root", "alg5", "alg6"], default="root")
     permute.add_argument("--backend", **backend_kwargs)
+    permute.add_argument("--transport", **transport_kwargs)
     permute.add_argument("--head", type=int, default=10, help="how many output items to print")
 
     matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
@@ -59,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--backend", choices=["thread", "process", "inline"], default=None,
                         help="execution backend for alg5/alg6/root (default thread); "
                              "rejected for the in-process algorithms")
+    matrix.add_argument("--transport", **transport_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -70,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated processor counts for --measure")
     scaling.add_argument("--backend", choices=["thread", "process"], default="thread",
                          help="execution backend for --measure runs")
+    scaling.add_argument("--transport", **transport_kwargs)
 
     uniformity = sub.add_parser("uniformity", help="chi-square uniformity test of the parallel permutation")
     uniformity.add_argument("--n", type=int, default=4, help="permutation size (<= 8 for the exhaustive test)")
@@ -98,7 +107,9 @@ def _cmd_permute(args) -> int:
     from repro.pro.machine import PROMachine
 
     machine = PROMachine(
-        args.procs, seed=args.seed, backend=args.backend, count_random_variates=True
+        args.procs, seed=args.seed, backend=args.backend,
+        backend_options={} if args.transport is None else {"transport": args.transport},
+        count_random_variates=True,
     )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
@@ -121,6 +132,7 @@ def _cmd_matrix(args) -> int:
         sizes, targets, parallel=parallel,
         algorithm=args.algorithm if args.algorithm != "sequential" or parallel else None,
         backend=args.backend,  # the API rejects backend= for the in-process path
+        transport=args.transport,  # likewise parallel-path only
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "
@@ -152,7 +164,8 @@ def _cmd_scaling(args) -> int:
     if args.measure is not None:
         procs = _parse_sizes(args.procs)
         rows = measured_scaling_table(
-            args.measure, proc_counts=procs, repeats=1, backend=args.backend
+            args.measure, proc_counts=procs, repeats=1, backend=args.backend,
+            transport=args.transport,
         )
         print(format_scaling_rows(
             rows, seconds_key="measured_seconds",

@@ -34,6 +34,7 @@ def sample_communication_matrix(
     machine: PROMachine | None = None,
     algorithm: str | None = None,
     backend: str | object | None = None,
+    transport: str | object | None = None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -66,6 +67,10 @@ def sample_communication_matrix(
         built when ``machine`` is omitted and mutually exclusive with
         ``machine``.  For a fixed ``seed`` the matrix is identical across
         backends.  Rejected for the sequential path, which runs no machine.
+    transport:
+        Payload transport for the process backend (``"sharedmem"`` or
+        ``"pickle"``); like ``backend``, parallel-path only and
+        seed-invariant.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -97,6 +102,11 @@ def sample_communication_matrix(
                 "backend= only applies to parallel=True (the sequential path "
                 "runs in the calling process)"
             )
+        if transport is not None:
+            raise ValidationError(
+                "transport= only applies to parallel=True (the sequential path "
+                "runs in the calling process)"
+            )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
@@ -114,6 +124,7 @@ def sample_communication_matrix(
         machine=machine,
         algorithm=parallel_algorithm,
         backend=backend,
+        transport=transport,
         seed=seed,
         method=method,
     )

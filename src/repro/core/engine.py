@@ -120,10 +120,35 @@ class SamplerEngine:
         return hypergeometric.sample(t, w, b, rng, method=self.method)
 
     def draw_many(self, t: int, w: int, b: int, size: int, rng=None) -> np.ndarray:
-        """``size`` i.i.d. variates of ``h(t, w, b)`` as an ``int64`` array."""
+        """``size`` i.i.d. variates of ``h(t, w, b)`` as an ``int64`` array.
+
+        For the vector-capable methods (``"auto"``, ``"numpy"``) the draws
+        are vectorized unconditionally -- one ``Generator.hypergeometric``
+        kernel call regardless of how small ``size`` is (there is no
+        scalar-loop fallback), with the same trivial-case handling as
+        :meth:`_hypergeometric_block` and a
+        :class:`~repro.rng.counting.CountingRNG` charged by the broadcast
+        size of the call.  The scalar methods (``"hin"``/``"hrua"``) keep
+        the loop over :func:`repro.core.hypergeometric.sample`, which is
+        the point of requesting them.
+        """
         from repro.core import hypergeometric
 
-        return hypergeometric.sample_many(t, w, b, size, rng, method=self.method)
+        if self.method in ("hin", "hrua"):
+            return hypergeometric.sample_many(t, w, b, size, rng, method=self.method)
+        size = check_nonnegative_int(size, "size")
+        t, w, b = hypergeometric._validate_parameters(t, w, b)
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        # Scalar parameters need no parameter arrays or masks: resolve the
+        # degenerate cases once and draw the rest with a single size=
+        # kernel call (the same trivial-case handling, without O(size)
+        # temporaries).
+        trivial = hypergeometric._trivial_sample(t, w, b)
+        if trivial is not None:
+            return np.full(size, trivial, dtype=np.int64)
+        rng = _kernel_rng(rng)
+        return np.asarray(rng.hypergeometric(w, b, t, size), dtype=np.int64)
 
     # -- batched kernels -------------------------------------------------------
     def _check_batched_method(self) -> None:

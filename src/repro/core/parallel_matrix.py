@@ -48,8 +48,36 @@ __all__ = [
     "root_scatter_program",
     "final_tile_ranges",
     "sample_matrix_parallel",
+    "resolve_tile_strategy",
     "MATRIX_ALGORITHMS",
+    "TILE_STRATEGIES",
 ]
+
+#: Recognised local-tile sampling strategies of alg6's step 3 and the root
+#: program.  ``"auto"`` (the default) resolves to the vectorized batched
+#: engine kernels whenever the requested hypergeometric method permits them
+#: and to the sequential sampler otherwise.
+TILE_STRATEGIES = ("auto", "sequential", "recursive", "batched")
+
+
+def resolve_tile_strategy(tile_strategy: str, method: str) -> str:
+    """Resolve ``"auto"`` to a concrete local-tile sampling strategy.
+
+    The batched :class:`~repro.core.engine.SamplerEngine` kernels are the
+    default hot path (``O(log p * log p')`` vectorized NumPy calls instead
+    of ``p * p'`` scalar Python calls, same law -- the statistical suite is
+    calibrated against them), but they always draw through NumPy's
+    vectorized sampler; when the caller explicitly requests a scalar method
+    (``"hin"``/``"hrua"``), ``"auto"`` falls back to the sequential tile
+    sampler so that the request is honoured rather than rejected.
+    """
+    if tile_strategy not in TILE_STRATEGIES:
+        raise ValidationError(
+            f"unknown tile_strategy {tile_strategy!r}; choose from {TILE_STRATEGIES}"
+        )
+    if tile_strategy != "auto":
+        return tile_strategy
+    return "batched" if method in ("auto", "numpy") else "sequential"
 
 
 def _validate_inputs(ctx: ProcessorContext, row_sums, col_sums) -> tuple[np.ndarray, np.ndarray]:
@@ -141,17 +169,19 @@ def algorithm6_program(
     col_sums,
     *,
     method: str = "auto",
-    tile_strategy: str = "sequential",
+    tile_strategy: str = "auto",
 ) -> np.ndarray:
     """SPMD program: return row ``ctx.rank`` of a random communication matrix.
 
     Implements Algorithm 6 of the paper: alternating-dimension splitting of
     the marginals (steps 1-2), sampling of the resulting tile (step 3) and
     redistribution of the rows to their owners (step 4).  ``tile_strategy``
-    selects the step-3 sampler (``"sequential"``, ``"recursive"`` or
-    ``"batched"`` -- the vectorized engine kernel, the hot path for large
-    tiles); all choices draw from the same law.
+    selects the step-3 sampler (``"auto"`` -- the default, resolving to the
+    vectorized batched engine kernel, the hot path for large tiles --
+    ``"sequential"``, ``"recursive"`` or ``"batched"``); all choices draw
+    from the same law.
     """
+    tile_strategy = resolve_tile_strategy(tile_strategy, method)
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     rank, p = ctx.rank, ctx.n_procs
 
@@ -232,16 +262,17 @@ def root_scatter_program(
     col_sums,
     *,
     method: str = "auto",
-    tile_strategy: str = "sequential",
+    tile_strategy: str = "auto",
 ) -> np.ndarray:
     """SPMD program: processor 0 samples the whole matrix, rows are scattered.
 
     Per-processor cost ``O(p^2)`` on the root and ``O(p)`` elsewhere; fine as
     long as ``p^2`` is small compared with the local data size ``n / p``
     (exactly the regime of the paper's experiments).  ``tile_strategy``
-    selects the root's sampler (``"sequential"``, ``"recursive"`` or the
-    vectorized ``"batched"`` engine kernel).
+    selects the root's sampler (``"auto"`` default -- the vectorized
+    ``"batched"`` engine kernel -- ``"sequential"`` or ``"recursive"``).
     """
+    tile_strategy = resolve_tile_strategy(tile_strategy, method)
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     if ctx.rank == 0:
         matrix = commmatrix.sample_matrix(
@@ -271,9 +302,10 @@ def sample_matrix_parallel(
     machine: PROMachine | None = None,
     algorithm: str = "alg6",
     backend: str | object | None = None,
+    transport: str | object | None = None,
     seed=None,
     method: str = "auto",
-    tile_strategy: str = "sequential",
+    tile_strategy: str = "auto",
 ) -> tuple[np.ndarray, RunResult]:
     """Sample a communication matrix on a PRO machine and assemble it.
 
@@ -294,12 +326,17 @@ def sample_matrix_parallel(
         any registered name) for the machine built when ``machine`` is
         omitted; mutually exclusive with ``machine``.  For a fixed ``seed``
         the sampled matrix is identical across backends.
+    transport:
+        Payload transport of the process backend (``"sharedmem"`` or
+        ``"pickle"``); rejected for backends without a transport option and
+        for pre-configured machines.  Seed-invariant like ``backend``.
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
         Local-tile sampler used by ``"alg6"`` (step 3) and ``"root"``:
-        ``"sequential"``, ``"recursive"`` or ``"batched"`` (vectorized
-        engine kernels).
+        ``"auto"`` (default; the vectorized batched engine kernels whenever
+        ``method`` permits them), ``"sequential"``, ``"recursive"`` or
+        ``"batched"``.
 
     Returns
     -------
@@ -314,15 +351,18 @@ def sample_matrix_parallel(
         raise ValidationError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(MATRIX_ALGORITHMS)}"
         )
-    machine = resolve_machine(rows.size, machine=machine, backend=backend, seed=seed)
+    machine = resolve_machine(
+        rows.size, machine=machine, backend=backend, seed=seed, transport=transport
+    )
     if machine.n_procs != rows.size:
         raise ValidationError(
             f"machine has {machine.n_procs} processors but row_sums has {rows.size} entries"
         )
     program = MATRIX_ALGORITHMS[algorithm]
     if algorithm in ("alg6", "root"):
+        resolve_tile_strategy(tile_strategy, method)  # reject unknown names early
         extra = {"tile_strategy": tile_strategy}
-    elif tile_strategy != "sequential":
+    elif tile_strategy not in ("auto", "sequential"):
         raise ValidationError(
             f"tile_strategy={tile_strategy!r} only applies to 'alg6' and 'root'; "
             "'alg5' samples no local tile"

@@ -47,6 +47,7 @@ __all__ = [
     "random_permutation",
     "random_permutation_indices",
     "local_shuffle",
+    "cut_rows",
 ]
 
 
@@ -62,6 +63,28 @@ def local_shuffle(values: np.ndarray, rng) -> np.ndarray:
     if out.shape[0] > 1:
         rng.shuffle(out)
     return out
+
+
+def cut_rows(values, counts) -> list[np.ndarray]:
+    """Cut ``values`` into ``len(counts)`` consecutive pieces -- vectorized.
+
+    The pieces are zero-copy views sized ``counts[0], counts[1], ...`` in
+    order (the row-cut step of Algorithm 1's exchange superstep and of the
+    external-memory distribution pass).  A single ``cumsum`` plus
+    ``np.split`` replaces the per-piece Python slicing loop; the property
+    suite checks equivalence against the loop formulation on random
+    matrices.
+    """
+    arr = np.asarray(values)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum()) if counts.size else 0
+    if total != arr.shape[0]:
+        raise ValidationError(
+            f"cut_rows counts sum to {total} but {arr.shape[0]} values were given"
+        )
+    if counts.size == 0:
+        return []
+    return np.split(arr, np.cumsum(counts[:-1]))
 
 
 def parallel_permutation_program(
@@ -131,14 +154,13 @@ def parallel_permutation_program(
     matrix_program = MATRIX_ALGORITHMS[matrix_algorithm]
     my_row = matrix_program(ctx, source_sizes, targets, method=method)
 
-    boundaries = np.cumsum(my_row)[:-1]
-    pieces = np.split(shuffled, boundaries)
+    pieces = cut_rows(shuffled, my_row)
     received = ctx.comm.alltoallv(pieces)
     ctx.comm.barrier()
 
     # Superstep 3: concatenate and shuffle locally.
     if received:
-        incoming = np.concatenate([np.asarray(piece) for piece in received])
+        incoming = np.concatenate(received)
     else:  # pragma: no cover - a machine always has >= 1 processor
         incoming = np.empty(0, dtype=local.dtype)
     result = local_shuffle(incoming, ctx.rng)
@@ -158,6 +180,7 @@ def permute_distributed(
     matrix_algorithm: str = "root",
     method: str = "auto",
     backend: str | object | None = None,
+    transport: str | object | None = None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -165,14 +188,18 @@ def permute_distributed(
     ``blocks`` is a list with one array per processor.  A machine with
     ``len(blocks)`` processors is created when none is supplied, on
     ``backend`` (``"thread"`` default; ``"process"`` runs one OS process per
-    rank and yields bit-identical output for the same seed).  The returned
-    blocks follow ``target_sizes`` (defaulting to the input sizes); the
-    second element of the returned pair is the machine's
+    rank and yields bit-identical output for the same seed).  ``transport``
+    selects the process backend's payload transport (``"sharedmem"`` or
+    ``"pickle"``; also seed-invariant).  The returned blocks follow
+    ``target_sizes`` (defaulting to the input sizes); the second element of
+    the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
     """
     if len(blocks) == 0:
         raise ValidationError("permute_distributed needs at least one block")
-    machine = resolve_machine(len(blocks), machine=machine, backend=backend, seed=seed)
+    machine = resolve_machine(
+        len(blocks), machine=machine, backend=backend, seed=seed, transport=transport
+    )
     if machine.n_procs != len(blocks):
         raise ValidationError(
             f"machine has {machine.n_procs} processors but {len(blocks)} blocks were given"
@@ -195,6 +222,7 @@ def random_permutation(
     matrix_algorithm: str = "root",
     method: str = "auto",
     backend: str | object | None = None,
+    transport: str | object | None = None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -235,6 +263,7 @@ def random_permutation(
         matrix_algorithm=matrix_algorithm,
         method=method,
         backend=backend,
+        transport=transport,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -248,6 +277,7 @@ def random_permutation_indices(
     machine: PROMachine | None = None,
     matrix_algorithm: str = "root",
     backend: str | object | None = None,
+    transport: str | object | None = None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
@@ -264,5 +294,6 @@ def random_permutation_indices(
         machine=machine,
         matrix_algorithm=matrix_algorithm,
         backend=backend,
+        transport=transport,
         seed=seed,
     )

@@ -23,8 +23,16 @@ Built-in backends:
   sequential reference inside the same harness) and for micro-benchmarks
   where thread start-up costs would drown the signal.
 
+The process backend additionally takes a *payload transport*
+(``transport="sharedmem" | "pickle"``, see
+:mod:`repro.pro.backends.transport`): the queue fabric carries only small
+control records while bulk NumPy payloads travel through shared-memory
+segments (zero-copy on the receive side) or, with ``"pickle"``, through
+the queue pipe as raw buffers.
+
 See :mod:`repro.pro.backends.registry` for the backend contract (fabric
-semantics, error-propagation rules) and for how to register your own.
+semantics, error-propagation rules, transport sub-contract) and for how to
+register your own.
 """
 
 from repro.pro.backends.registry import (
@@ -40,6 +48,15 @@ from repro.pro.backends.registry import (
 from repro.pro.backends.thread import ThreadBackend
 from repro.pro.backends.inline import InlineBackend
 from repro.pro.backends.process import ProcessBackend, ProcessFabric
+from repro.pro.backends.transport import (
+    PayloadTransport,
+    PickleTransport,
+    available_transports,
+    get_transport,
+    register_transport,
+    resolve_transport,
+)
+from repro.pro.backends.sharedmem import SharedMemoryTransport
 
 __all__ = [
     "BackendCapabilities",
@@ -49,9 +66,16 @@ __all__ = [
     "InlineBackend",
     "ProcessBackend",
     "ProcessFabric",
+    "PayloadTransport",
+    "PickleTransport",
+    "SharedMemoryTransport",
     "available_backends",
+    "available_transports",
     "backend_capabilities",
     "get_backend",
+    "get_transport",
     "register_backend",
+    "register_transport",
     "resolve_backend",
+    "resolve_transport",
 ]

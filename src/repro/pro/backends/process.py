@@ -14,11 +14,16 @@ Design points:
 * **Deterministic seeding.**  The machine builds the per-rank random
   streams *in the parent* (exactly as for the inline and thread backends)
   and ships each rank its own generator, so for a fixed machine seed the
-  results are bit-identical across the inline, thread and process backends.
-* **Buffer-based NumPy transport.**  Array payloads cross the process
-  boundary as ``(dtype, shape, bytes)`` triples (nested containers are
-  walked recursively) rather than as opaque pickles of array objects;
-  receivers rebuild fresh writable arrays from the raw buffers.
+  results are bit-identical across the inline, thread and process backends
+  -- and across payload transports, which never touch the streams.
+* **Pluggable payload transport.**  The queues carry only small control
+  records; how the payload bytes cross the address-space gap is decided by
+  a :class:`~repro.pro.backends.transport.PayloadTransport`:
+  ``transport="sharedmem"`` (default) ships bulk NumPy arrays through
+  ``multiprocessing.shared_memory`` segments with zero-copy views on the
+  receive side, ``transport="pickle"`` keeps everything in the queue pipe
+  as ``(dtype, shape, bytes)`` buffer records.  Results shipped back to
+  the caller use the same transport.
 * **Cost accounting survives the address-space gap.**  Each worker ships
   its :class:`~repro.pro.cost.CostRecorder` and random-variate count back
   together with its result; :meth:`ProcessBackend.run` folds them into the
@@ -28,6 +33,10 @@ Design points:
   and the first real error by rank order -- preferring causes over
   :class:`~repro.util.errors.CommunicationError` symptoms -- is re-raised in
   the caller wrapped in :class:`~repro.util.errors.BackendError`.
+* **Clean shutdown.**  After every run -- successful, failed, aborted or
+  timed out -- the backend drains the fabric's queues and *disposes* every
+  undelivered record, so shared-memory segments of in-flight messages are
+  unlinked instead of leaking (no ``resource_tracker`` warnings).
 
 The backend prefers the ``fork`` start method (cheap, closures allowed);
 on platforms without it, ``spawn`` is used and programs/arguments must be
@@ -36,81 +45,90 @@ picklable.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import pickle
 import queue as _pyqueue
 import threading
 import time
+import uuid
 from typing import Callable, Sequence
-
-import numpy as np
 
 from repro.pro.backends.registry import (
     BackendCapabilities,
     ExecutionBackend,
     register_backend,
 )
+from repro.pro.backends.transport import (
+    PayloadTransport,
+    PickleTransport,
+    resolve_transport,
+)
 from repro.util.errors import BackendError, CommunicationError, ValidationError
 
 __all__ = ["ProcessBackend", "ProcessFabric"]
 
-# Markers of the buffer-based payload encoding.
-_ND, _TUPLE, _LIST, _DICT, _RAW = "nd", "tuple", "list", "dict", "raw"
-
-
-def _encode_payload(obj):
-    """Encode a message payload for transport: arrays become raw buffers."""
-    if isinstance(obj, np.ndarray):
-        arr = np.ascontiguousarray(obj)
-        return (_ND, arr.dtype.str, arr.shape, arr.tobytes())
-    if isinstance(obj, tuple):
-        return (_TUPLE, tuple(_encode_payload(v) for v in obj))
-    if isinstance(obj, list):
-        return (_LIST, [_encode_payload(v) for v in obj])
-    if isinstance(obj, dict):
-        return (_DICT, {k: _encode_payload(v) for k, v in obj.items()})
-    return (_RAW, obj)
-
-
-def _decode_payload(enc):
-    """Inverse of :func:`_encode_payload`; arrays come back writable."""
-    kind, value = enc[0], enc[1]
-    if kind == _ND:
-        _, dtype, shape, data = enc
-        return np.frombuffer(data, dtype=np.dtype(dtype)).reshape(shape).copy()
-    if kind == _TUPLE:
-        return tuple(_decode_payload(v) for v in value)
-    if kind == _LIST:
-        return [_decode_payload(v) for v in value]
-    if kind == _DICT:
-        return {k: _decode_payload(v) for k, v in value.items()}
-    return value
+# Backwards-compatible aliases of the historic module-level codec: the
+# buffer-based encoding now lives in the pickle transport.
+_PICKLE_CODEC = PickleTransport()
+_encode_payload = _PICKLE_CODEC.encode
+_decode_payload = _PICKLE_CODEC.decode
 
 
 class ProcessFabric:
     """Message fabric over multiprocessing queues and a shared barrier.
 
-    One inbox queue per destination rank carries ``(src, tag, payload)``
-    triples; mismatched messages read while waiting for a specific
+    One inbox queue per destination rank carries ``(src, tag, record)``
+    triples, where ``record`` is produced by the fabric's payload
+    transport; mismatched messages read while waiting for a specific
     ``(src, tag)`` are parked locally (each rank lives in its own process,
     so the parking dict is private to that rank) and served to later
     receives, preserving per-source FIFO order.
     """
 
-    def __init__(self, n_procs: int, *, timeout: float = 60.0, mp_context=None):
+    def __init__(self, n_procs: int, *, timeout: float = 60.0, mp_context=None,
+                 transport: str | PayloadTransport | None = None):
         if n_procs < 1:
             raise ValidationError(f"n_procs must be >= 1, got {n_procs}")
         self.n_procs = n_procs
         self.timeout = timeout
+        self.transport = resolve_transport(transport)
+        if getattr(self.transport, "uses_shared_memory", False):
+            # The resource tracker must exist before the rank processes
+            # fork so that all of them share it (see
+            # ensure_resource_tracker); in-band transports never touch
+            # shared memory and skip the tracker daemon entirely.
+            from repro.pro.backends.sharedmem import ensure_resource_tracker
+
+            ensure_resource_tracker()
         self._mp = mp_context if mp_context is not None else multiprocessing.get_context()
         self._inboxes = [self._mp.Queue() for _ in range(n_procs)]
         self._barrier = self._mp.Barrier(n_procs)
         # (src, tag) -> list of decoded payloads, private to the rank's process.
         self._parked: dict = {}
+        # One ring-segment name per sender rank (see the sharedmem
+        # transport): a reusable bulk buffer that amortises segment
+        # creation over every message the rank sends during this run.
+        # Transports whose encode() has no ring parameter simply never see
+        # the names.
+        try:
+            ring_aware = "ring" in inspect.signature(self.transport.encode).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            ring_aware = False
+        token = uuid.uuid4().hex[:12]
+        self._ring_names = (
+            [f"pro{token}r{src}" for src in range(n_procs)] if ring_aware else None
+        )
+
+    def encode_payload(self, src: int, payload):
+        """Encode a payload sent by rank ``src`` (using its ring if any)."""
+        if self._ring_names is not None:
+            return self.transport.encode(payload, ring=self._ring_names[src])
+        return self.transport.encode(payload)
 
     def put(self, src: int, dst: int, tag, payload) -> None:
         """Deposit a message; never blocks (queues are unbounded)."""
-        self._inboxes[dst].put((src, tag, _encode_payload(payload)))
+        self._inboxes[dst].put((src, tag, self.encode_payload(src, payload)))
 
     def get(self, src: int, dst: int, tag, pending: list):
         """Fetch the next message from ``src`` to ``dst`` carrying ``tag``.
@@ -136,13 +154,13 @@ class ProcessFabric:
                     f"from rank {src} with tag {tag!r}"
                 )
             try:
-                msg_src, msg_tag, enc = self._inboxes[dst].get(timeout=remaining)
+                msg_src, msg_tag, record = self._inboxes[dst].get(timeout=remaining)
             except _pyqueue.Empty:
                 raise CommunicationError(
                     f"rank {dst} timed out after {self.timeout}s waiting for a message "
                     f"from rank {src} with tag {tag!r}"
                 ) from None
-            payload = _decode_payload(enc)
+            payload = self.transport.decode(record)
             if msg_src == src and msg_tag == tag:
                 return payload
             self._parked.setdefault((msg_src, msg_tag), []).append(payload)
@@ -160,6 +178,48 @@ class ProcessFabric:
     def abort(self) -> None:
         """Break the barrier so that surviving ranks fail fast after a crash."""
         self._barrier.abort()
+
+    def shutdown(self, *, drain_timeout: float = 0.0) -> None:
+        """Drain undelivered messages and release their transport resources.
+
+        Called by the backend after the workers have stopped -- on success,
+        failure, abort and timeout paths alike.  Every record still sitting
+        in an inbox is handed to ``transport.dispose`` so out-of-band
+        payloads (shared-memory segments) are unlinked rather than leaked.
+
+        ``drain_timeout`` is the per-inbox wait for straggling feeder
+        flushes; the backend passes 0 on clean runs (the inboxes are empty)
+        and a short grace period after aborts and timeouts.
+        """
+        for inbox in self._inboxes:
+            waited = False
+            while True:
+                try:
+                    if drain_timeout > 0 and not waited:
+                        waited = True
+                        _src, _tag, record = inbox.get(timeout=drain_timeout)
+                    else:
+                        _src, _tag, record = inbox.get_nowait()
+                except _pyqueue.Empty:
+                    break
+                except Exception:
+                    # A worker terminated mid-put can leave a truncated
+                    # pickle in the pipe; shutdown runs inside the
+                    # backend's finally block, so nothing here may mask
+                    # the real run error -- skip to the next inbox.
+                    break
+                try:
+                    self.transport.dispose(record)
+                except Exception:  # pragma: no cover - disposal is best effort
+                    pass
+        if self._ring_names is not None:
+            try:
+                self.transport.retire_rings(self._ring_names)
+            except Exception:  # pragma: no cover - retirement is best effort
+                pass
+        for inbox in self._inboxes:
+            inbox.close()
+            inbox.cancel_join_thread()
 
 
 class _VariateCount:
@@ -180,10 +240,13 @@ def _portable_exception(exc: BaseException) -> BaseException:
 
 def _worker_main(rank: int, ctx, program, args, kwargs, result_queue) -> None:
     """Entry point of one rank's process (module-level for spawn support)."""
+    fabric = ctx.comm._fabric
     try:
         value = program(ctx, *args, **kwargs)
         variates = getattr(ctx.rng, "total_variates", None)
-        result_queue.put((rank, True, (_encode_payload(value), ctx.cost, variates)))
+        result_queue.put(
+            (rank, True, (fabric.encode_payload(rank, value), ctx.cost, variates))
+        )
     except BaseException as exc:  # noqa: BLE001 - report any rank failure
         try:
             ctx.comm._fabric.abort()
@@ -204,6 +267,12 @@ class ProcessBackend(ExecutionBackend):
     shutdown_grace:
         Seconds to wait for worker processes to exit after the run has
         finished (or failed) before terminating them.
+    transport:
+        Payload transport name or instance: ``"sharedmem"`` (default;
+        zero-copy shared-memory segments for bulk arrays, transparent
+        fallback to the pickle codec where shared memory is unavailable)
+        or ``"pickle"`` (everything through the queue pipe).  Results are
+        bit-identical across transports for a fixed machine seed.
     """
 
     name = "process"
@@ -214,7 +283,8 @@ class ProcessBackend(ExecutionBackend):
         shared_address_space=False,
     )
 
-    def __init__(self, *, start_method: str | None = None, shutdown_grace: float = 5.0):
+    def __init__(self, *, start_method: str | None = None, shutdown_grace: float = 5.0,
+                 transport: str | PayloadTransport | None = "sharedmem"):
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
@@ -225,11 +295,13 @@ class ProcessBackend(ExecutionBackend):
             )
         self.start_method = start_method
         self.shutdown_grace = float(shutdown_grace)
+        self.transport = resolve_transport(transport)
         self._mp = multiprocessing.get_context(start_method)
 
     def create_fabric(self, n_procs: int, *, timeout: float) -> ProcessFabric:
         """Build the multiprocess message fabric for one run."""
-        return ProcessFabric(n_procs, timeout=timeout, mp_context=self._mp)
+        return ProcessFabric(n_procs, timeout=timeout, mp_context=self._mp,
+                             transport=self.transport)
 
     # -- running ------------------------------------------------------------
     def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:
@@ -257,39 +329,55 @@ class ProcessBackend(ExecutionBackend):
         for proc in workers:
             proc.start()
 
-        outcomes = self._collect(workers, result_queue, n)
-        self._reap(workers)
+        drain_timeout = 0.0
+        try:
+            outcomes = self._collect(workers, result_queue, n)
+            self._reap(workers)
 
-        failed = []
-        for rank in range(n):
-            entry = outcomes.get(rank)
-            if entry is None:
-                failed.append((rank, CommunicationError(
-                    f"rank {rank} exited (code {workers[rank].exitcode}) "
-                    "without reporting a result"
-                )))
-            elif not entry[0]:
-                failed.append((rank, entry[1]))
-        if failed:
-            primary = next(
-                ((rank, exc) for rank, exc in failed if not isinstance(exc, CommunicationError)),
-                failed[0],
-            )
-            rank, exc = primary
-            if isinstance(exc, Exception):
-                raise BackendError(f"rank {rank} failed: {exc!r}") from exc
-            raise exc  # KeyboardInterrupt and friends propagate unchanged
+            failed = []
+            for rank in range(n):
+                entry = outcomes.get(rank)
+                if entry is None:
+                    failed.append((rank, CommunicationError(
+                        f"rank {rank} exited (code {workers[rank].exitcode}) "
+                        "without reporting a result"
+                    )))
+                elif not entry[0]:
+                    failed.append((rank, entry[1]))
+            if failed:
+                drain_timeout = 0.25
+                # Undecoded success payloads may hold out-of-band resources.
+                for rank in range(n):
+                    entry = outcomes.get(rank)
+                    if entry is not None and entry[0]:
+                        try:
+                            fabric.transport.dispose(entry[1][0])
+                        except Exception:
+                            pass
+                primary = next(
+                    ((rank, exc) for rank, exc in failed
+                     if not isinstance(exc, CommunicationError)),
+                    failed[0],
+                )
+                rank, exc = primary
+                if isinstance(exc, Exception):
+                    raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+                raise exc  # KeyboardInterrupt and friends propagate unchanged
 
-        results: list = [None] * n
-        for rank in range(n):
-            encoded_value, cost, variates = outcomes[rank][1]
-            results[rank] = _decode_payload(encoded_value)
-            # Fold the worker-side accounting back into the caller's context:
-            # the parent's recorder/rng never advanced.
-            contexts[rank].cost = cost
-            if variates is not None:
-                contexts[rank].rng = _VariateCount(variates)
-        return results
+            results: list = [None] * n
+            for rank in range(n):
+                encoded_value, cost, variates = outcomes[rank][1]
+                results[rank] = fabric.transport.decode(encoded_value)
+                # Fold the worker-side accounting back into the caller's
+                # context: the parent's recorder/rng never advanced.
+                contexts[rank].cost = cost
+                if variates is not None:
+                    contexts[rank].rng = _VariateCount(variates)
+            return results
+        finally:
+            # Unlink in-flight shared-memory payloads on every exit path
+            # (normal, failed rank, abort, timeout).
+            fabric.shutdown(drain_timeout=drain_timeout)
 
     def _collect(self, workers, result_queue, n: int) -> dict:
         """Read per-rank outcome messages until all arrive or the run is dead.
@@ -332,5 +420,6 @@ class ProcessBackend(ExecutionBackend):
 register_backend(
     "process",
     ProcessBackend,
-    description="one OS process per rank; true parallelism, pipe/queue fabric",
+    description="one OS process per rank; true parallelism, queue fabric with "
+                "pluggable payload transport (sharedmem default, pickle)",
 )

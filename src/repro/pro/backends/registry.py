@@ -45,6 +45,23 @@ CostRecorder` state and random-variate counts back to the caller and fold
 them into the contexts before ``run`` returns, so that cost reports stay
 backend-independent.
 
+Transport sub-contract (out-of-address-space backends)
+------------------------------------------------------
+How payload bytes cross the address-space gap is itself pluggable: such a
+backend should accept a ``transport=`` option (a name resolved through
+:mod:`repro.pro.backends.transport` or a duck-typed object with
+``encode``/``decode``/``dispose``) and honour three rules:
+
+* the queue/control channel carries only small records -- bulk array bytes
+  go through the transport (``"sharedmem"`` ships them through
+  ``multiprocessing.shared_memory`` segments with zero-copy receive views,
+  ``"pickle"`` keeps the historic in-band buffer codec);
+* transports never touch the random streams, so a fixed machine seed stays
+  bit-identical across transports as well as across backends;
+* every record that is *not* decoded (abort, timeout, crash) must be
+  handed to ``transport.dispose`` during fabric shutdown so out-of-band
+  resources are released (see ``ProcessFabric.shutdown``).
+
 Registering a backend
 ---------------------
 ::
@@ -222,15 +239,35 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def resolve_backend(backend: str | ExecutionBackend) -> ExecutionBackend:
+def resolve_backend(backend: str | ExecutionBackend, **options) -> ExecutionBackend:
     """Turn a backend name or instance into a validated backend instance.
 
     This is what :class:`~repro.pro.machine.PROMachine` calls: strings go
-    through the registry, objects are accepted as-is provided they expose a
-    ``run()`` method (duck-typed custom backends remain supported).
+    through the registry (with ``options`` forwarded to the factory, e.g.
+    ``transport="sharedmem"`` for the process backend), objects are
+    accepted as-is provided they expose a ``run()`` method (duck-typed
+    custom backends remain supported).  Options that a backend's factory
+    does not understand are rejected with a
+    :class:`~repro.util.errors.ValidationError` rather than silently
+    ignored.
     """
     if isinstance(backend, str):
-        return get_backend(backend)
+        if not options:
+            return get_backend(backend)
+        try:
+            return get_backend(backend, **options)
+        except TypeError as exc:
+            # Only a call with options can fail on an unexpected keyword;
+            # factory-internal TypeErrors without options propagate as-is.
+            raise ValidationError(
+                f"backend {backend!r} does not accept the options "
+                f"{sorted(options)}: {exc}"
+            ) from None
+    if options:
+        raise ValidationError(
+            "backend options (e.g. transport=) only apply when the backend is "
+            "given by name; configure a backend instance directly instead"
+        )
     if not hasattr(backend, "run"):
         raise ValidationError("a backend object must expose a run() method")
     return backend

@@ -1,0 +1,447 @@
+"""Zero-copy shared-memory payload transport for the process backend.
+
+The queue fabric of :class:`~repro.pro.backends.process.ProcessFabric`
+keeps carrying small control records, but with this transport the *bytes*
+of every bulk NumPy payload travel through a
+``multiprocessing.shared_memory`` segment instead of the queue pipe:
+
+* **Sender** (``encode``): all arrays of one payload that are at least
+  ``min_bytes`` big are packed into a single fresh segment (one copy, at
+  64-byte aligned offsets); the queue record only names the segment and the
+  per-array ``(offset, dtype, shape)`` slots.  Small arrays and non-array
+  values stay inline in the record via the pickle codec.
+* **Receiver** (``decode``): attaches the segment, immediately *unlinks*
+  its name (POSIX keeps the memory alive while mapped) and returns
+  **zero-copy writable views** into the mapping.  The mapping is closed
+  automatically once every returned view has been garbage collected
+  (a :class:`weakref.finalize` per view), so receivers can hold results
+  for as long as they like without leaking.
+
+Lifecycle discipline
+--------------------
+CPython's ``resource_tracker`` pairs a *register* on segment creation with
+an *unregister* inside :meth:`SharedMemory.unlink`; all fabric processes
+share one tracker (the file descriptor is inherited by both ``fork`` and
+``spawn`` children), so the invariant the transport maintains is simply
+**exactly one unlink per segment**: the receiver unlinks on decode, and
+records that are never decoded are unlinked by ``dispose`` when the fabric
+drains its queues on shutdown/abort/timeout paths.  A segment abandoned by
+a hard-crashed run is the one case left to the tracker's exit-time cleanup
+(which is exactly what the tracker is for).
+
+When shared memory is unavailable (no ``/dev/shm``, permissions, exotic
+platforms) the transport degrades transparently to the pickle codec; the
+probe runs once per process and is re-run after a ``fork``.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+import numpy as np
+
+from repro.pro.backends.transport import (
+    SHMREF,
+    SHMRING,
+    SHMSEG,
+    PayloadTransport,
+    register_transport,
+    walk_decode,
+    walk_encode,
+)
+from repro.util.errors import CommunicationError, ValidationError
+
+try:  # pragma: no cover - the stdlib module exists on all supported platforms
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover
+    _shm_module = None
+
+__all__ = ["SharedMemoryTransport", "shared_memory_available"]
+
+#: Byte alignment of array slots inside a segment (cache-line sized).
+_ALIGN = 64
+
+# Per-process availability probe result, keyed by pid so that forked
+# children re-probe instead of trusting the parent's cached answer.
+_PROBE: tuple[int | None, bool] = (None, False)
+
+
+def ensure_resource_tracker() -> None:
+    """Start the resource tracker in *this* process (the fabric's parent).
+
+    Must run before the rank processes fork so that every process of a run
+    inherits one shared tracker: segment creation registers in the sending
+    rank, the matching unregister happens inside ``unlink`` in the
+    *receiving* rank, and the pair only balances when both land in the
+    same tracker cache.  Without this, each rank lazily spawns its own
+    tracker and every tracker warns about "leaked" segments at exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - platforms without the tracker
+        pass
+
+
+def shared_memory_available() -> bool:
+    """True when shared-memory segments can be created in this process."""
+    global _PROBE
+    pid = os.getpid()
+    if _PROBE[0] != pid:
+        ok = False
+        if _shm_module is not None:
+            try:
+                seg = _shm_module.SharedMemory(create=True, size=1)
+                seg.close()
+                seg.unlink()
+                ok = True
+            except Exception:
+                ok = False
+        _PROBE = (pid, ok)
+    return _PROBE[1]
+
+
+class _SegmentLease:
+    """Keep one attached segment mapped until all views into it are dead."""
+
+    __slots__ = ("_seg", "_outstanding")
+
+    def __init__(self, seg, n_views: int):
+        self._seg = seg
+        self._outstanding = int(n_views)
+
+    def watch(self, view: np.ndarray) -> None:
+        weakref.finalize(view, self._release)
+
+    def _release(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding <= 0 and self._seg is not None:
+            seg, self._seg = self._seg, None
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - interpreter shutdown races
+                pass
+
+
+# ----------------------------------------------------------------------------
+# Ring segments: one reusable bump-allocated buffer per sender and run
+# ----------------------------------------------------------------------------
+# Creating, mapping and unlinking a fresh segment costs a handful of
+# syscalls plus the kernel zeroing every page -- fine for megabyte
+# payloads, but it cancels the zero-copy win for the ~100 KB pieces of a
+# realistic irregular all-to-all.  A *ring segment* amortises all of that:
+# the fabric names one buffer per sender rank, the sender creates it on
+# first use and bump-allocates message slots from it, and every receiver
+# attaches it once and caches the mapping, so the marginal cost of a
+# message drops to a single memcpy plus a tiny queue record.  There is no
+# wrap-around (receivers keep zero-copy views, so slots can never be
+# reused within a run); a run that outgrows the ring falls back to
+# dedicated per-message segments, and the fabric retires the rings at
+# shutdown (parent side), after which mappings live on only as long as
+# undead views need them.
+
+#: (pid, name) -> _SenderRing, private to the creating process.
+_SENDER_RINGS: dict = {}
+#: (pid, name) -> _RingAttachment, private to the attaching process.
+_ATTACHED_RINGS: dict = {}
+
+
+class _SenderRing:
+    """The sender side of one ring segment: a bump allocator."""
+
+    __slots__ = ("shm", "cursor", "capacity")
+
+    def __init__(self, shm):
+        self.shm = shm
+        self.cursor = 0
+        self.capacity = shm.size
+
+    def allocate(self, nbytes: int) -> int | None:
+        """Reserve ``nbytes`` (aligned); None when the ring is full."""
+        start = self.cursor
+        end = start + (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        if end > self.capacity:
+            return None
+        self.cursor = end
+        return start
+
+
+class _RingAttachment:
+    """The receiver side: one cached mapping plus live-view accounting."""
+
+    __slots__ = ("shm", "_outstanding", "_retired")
+
+    def __init__(self, shm):
+        self.shm = shm
+        self._outstanding = 0
+        self._retired = False
+
+    def watch(self, view: np.ndarray) -> None:
+        self._outstanding += 1
+        weakref.finalize(view, self._release)
+
+    def retire(self) -> None:
+        self._retired = True
+        self._maybe_close()
+
+    def _release(self) -> None:
+        self._outstanding -= 1
+        self._maybe_close()
+
+    def _maybe_close(self) -> None:
+        if self._retired and self._outstanding <= 0 and self.shm is not None:
+            shm, self.shm = self.shm, None
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - interpreter shutdown races
+                pass
+
+
+def _sender_ring(name: str, ring_bytes: int) -> "_SenderRing | None":
+    """This process's sender ring called ``name``, created on first use."""
+    key = (os.getpid(), name)
+    ring = _SENDER_RINGS.get(key)
+    if ring is None:
+        try:
+            shm = _shm_module.SharedMemory(name=name, create=True, size=ring_bytes)
+        except Exception:
+            return None
+        ring = _SenderRing(shm)
+        _SENDER_RINGS[key] = ring
+    return ring
+
+
+def _attached_ring(name: str) -> "_RingAttachment | None":
+    """This process's cached attachment of the ring called ``name``."""
+    key = (os.getpid(), name)
+    attachment = _ATTACHED_RINGS.get(key)
+    if attachment is None:
+        sender = _SENDER_RINGS.get(key)
+        try:
+            if sender is not None and sender.shm is not None:
+                # Self-delivery: reuse the sender mapping instead of a
+                # second attach of our own segment.
+                attachment = _RingAttachment(sender.shm)
+            else:
+                attachment = _RingAttachment(_shm_module.SharedMemory(name=name))
+        except FileNotFoundError:
+            return None
+        _ATTACHED_RINGS[key] = attachment
+    return attachment
+
+
+class SharedMemoryTransport(PayloadTransport):
+    """Ship bulk array payloads through shared-memory segments.
+
+    Parameters
+    ----------
+    min_bytes:
+        Arrays smaller than this stay inline in the queue record (the
+        per-segment syscalls only pay off for bulk payloads).  The default
+        of 8 KiB keeps control traffic on the fast path while every block
+        of a realistically sized permutation goes zero-copy.
+    ring_bytes:
+        Capacity of one per-sender ring segment (default 32 MiB; the pages
+        are allocated lazily by the kernel, so an oversized ring costs
+        only what a run actually ships).  Messages that do not fit in the
+        remaining ring space use a dedicated per-message segment instead.
+    """
+
+    name = "sharedmem"
+    #: Tells the fabric to start the shared resource tracker pre-fork.
+    uses_shared_memory = True
+
+    def __init__(self, *, min_bytes: int = 8192, ring_bytes: int = 32 * 1024 * 1024):
+        self.min_bytes = int(min_bytes)
+        self.ring_bytes = int(ring_bytes)
+        if self.min_bytes < 1:
+            raise ValidationError(
+                f"min_bytes must be >= 1, got {self.min_bytes}"
+            )
+        if self.ring_bytes < 1:
+            raise ValidationError(
+                f"ring_bytes must be >= 1, got {self.ring_bytes}"
+            )
+
+    # -- encoding -----------------------------------------------------------
+    def encode(self, payload, *, ring: str | None = None):
+        if not shared_memory_available():
+            return walk_encode(payload, lambda arr: None)
+
+        slabs: list[np.ndarray] = []
+        offsets: list[int] = []
+        cursor = 0
+
+        def claim(arr: np.ndarray):
+            nonlocal cursor
+            if arr.nbytes < self.min_bytes:
+                return None
+            contiguous = np.ascontiguousarray(arr)
+            slabs.append(contiguous)
+            offset = cursor
+            offsets.append(offset)
+            cursor += (contiguous.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+            # ascontiguousarray promotes 0-d to 1-d; keep the caller's shape.
+            return (SHMREF, len(slabs) - 1, contiguous.dtype, arr.shape)
+
+        inner = walk_encode(payload, claim)
+        if not slabs:
+            return inner
+
+        if ring is not None:
+            sender = _sender_ring(ring, self.ring_bytes)
+            if sender is not None:
+                base = sender.allocate(cursor)
+                if base is not None:
+                    for slab, offset in zip(slabs, offsets):
+                        dst = np.ndarray(slab.shape, dtype=slab.dtype,
+                                         buffer=sender.shm.buf, offset=base + offset)
+                        dst[...] = slab
+                        del dst
+                    return (SHMRING, ring,
+                            tuple(base + offset for offset in offsets), inner)
+        try:
+            seg = _shm_module.SharedMemory(create=True, size=max(cursor, 1))
+        except Exception:
+            # Creation can start failing later (e.g. /dev/shm filled up);
+            # degrade to the inline codec for this and future messages.
+            global _PROBE
+            _PROBE = (os.getpid(), False)
+            return walk_encode(payload, lambda arr: None)
+        try:
+            for slab, offset in zip(slabs, offsets):
+                dst = np.ndarray(slab.shape, dtype=slab.dtype,
+                                 buffer=seg.buf, offset=offset)
+                dst[...] = slab
+                del dst
+        except BaseException:
+            seg.close()
+            seg.unlink()
+            raise
+        name = seg.name
+        seg.close()  # the sender's mapping is no longer needed
+        return (SHMSEG, name, tuple(offsets), inner)
+
+    # -- decoding -----------------------------------------------------------
+    def decode(self, record):
+        if record[0] == SHMRING:
+            return self._decode_ring(record)
+        if record[0] != SHMSEG:
+            return walk_decode(record)
+        _, name, offsets, inner = record
+        try:
+            seg = _shm_module.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise CommunicationError(
+                f"shared-memory segment {name!r} vanished before it was "
+                "received (the run was probably aborted)"
+            ) from None
+        try:
+            seg.unlink()  # memory stays alive while mapped; the name goes now
+        except FileNotFoundError:  # pragma: no cover - double delivery race
+            pass
+        lease = _SegmentLease(seg, len(offsets))
+
+        def resolve(ref):
+            _, index, dtype, shape = ref
+            view = np.ndarray(shape, dtype=dtype, buffer=seg.buf,
+                              offset=offsets[index])
+            lease.watch(view)
+            return view
+
+        return walk_decode(inner, resolve)
+
+    def _decode_ring(self, record):
+        _, name, offsets, inner = record
+        attachment = _attached_ring(name)
+        if attachment is None:
+            raise CommunicationError(
+                f"ring segment {name!r} vanished before its message was "
+                "received (the run was probably aborted)"
+            )
+
+        def resolve(ref):
+            _, index, dtype, shape = ref
+            view = np.ndarray(shape, dtype=dtype, buffer=attachment.shm.buf,
+                              offset=offsets[index])
+            attachment.watch(view)
+            return view
+
+        return walk_decode(inner, resolve)
+
+    # -- disposal -----------------------------------------------------------
+    def dispose(self, record) -> None:
+        """Unlink the segment of a record that will never be decoded.
+
+        Ring records need no per-message disposal -- the fabric retires
+        whole rings via :meth:`retire_rings` at shutdown.
+        """
+        if not (isinstance(record, tuple) and record and record[0] == SHMSEG):
+            return
+        name = record[1]
+        if _shm_module is None:  # pragma: no cover
+            return
+        try:
+            seg = _shm_module.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        seg.close()
+
+    # -- ring lifecycle -----------------------------------------------------
+    def retire_rings(self, names) -> None:
+        """Unlink the named ring segments and drop this process's handles.
+
+        Called by the fabric (in the parent) at shutdown on every exit
+        path.  Unlinking removes only the names; receiver mappings stay
+        alive until the last zero-copy view into them is garbage
+        collected.
+        """
+        if _shm_module is None:  # pragma: no cover
+            return
+        pid = os.getpid()
+        for name in names:
+            unlinked = False
+            sender = _SENDER_RINGS.pop((pid, name), None)
+            attachment = _ATTACHED_RINGS.pop((pid, name), None)
+            shared_handle = (sender is not None and attachment is not None
+                             and attachment.shm is sender.shm)
+            if sender is not None:
+                try:
+                    sender.shm.unlink()
+                except FileNotFoundError:
+                    pass
+                unlinked = True
+                if not shared_handle:
+                    try:
+                        sender.shm.close()
+                    except Exception:  # pragma: no cover - exported views
+                        pass
+            if attachment is not None:
+                if not unlinked:
+                    try:
+                        attachment.shm.unlink()
+                    except FileNotFoundError:
+                        pass
+                    unlinked = True
+                attachment.retire()
+            if not unlinked:
+                # A ring created by a (now finished) worker that this
+                # process never attached; unlink it by name.
+                try:
+                    seg = _shm_module.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                seg.close()
+
+
+register_transport("sharedmem", SharedMemoryTransport)

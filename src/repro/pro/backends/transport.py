@@ -1,0 +1,230 @@
+"""Payload transports: how message payloads cross the process boundary.
+
+The :class:`~repro.pro.backends.process.ProcessFabric` separates *control*
+from *data*: the multiprocessing queues always carry small control records
+``(src, tag, encoded_payload)``, and a pluggable :class:`PayloadTransport`
+decides how the payload bytes themselves travel.  Two transports ship with
+the library:
+
+``"pickle"`` (:class:`PickleTransport`)
+    The buffer-based codec the process backend has always used: NumPy
+    arrays become ``(dtype, shape, bytes)`` triples inside the queue
+    message (nested containers are walked recursively), everything else is
+    pickled by the queue.  Every array payload is copied at least three
+    times (``tobytes``, the queue pipe write, the queue pipe read) before
+    the receiver rebuilds it.
+
+``"sharedmem"`` (:class:`~repro.pro.backends.sharedmem.SharedMemoryTransport`)
+    Bulk array payloads travel through ``multiprocessing.shared_memory``
+    segments: the sender copies each large array into a dedicated segment
+    exactly once and ships only ``(segment name, offset, dtype, shape)``
+    control records through the queue; the receiver attaches the segment
+    and hands out **zero-copy** NumPy views.  Small arrays and non-array
+    payloads fall back to the pickle codec, as does everything when shared
+    memory is unavailable on the platform.
+
+Transport contract
+------------------
+A transport is any object with
+
+``name``
+    A short identifier (``"pickle"``, ``"sharedmem"``, ...).
+``encode(payload, *, ring=None) -> record``
+    Turn a payload into a picklable control record.  Called in the sending
+    process; must not consume randomness or mutate the payload.  ``ring``
+    is an optional fabric-provided name of a reusable per-sender buffer
+    (see the shared-memory transport's ring segments); transports may
+    ignore it.
+``decode(record) -> payload``
+    Inverse of ``encode``; called exactly once per delivered record in the
+    receiving process.  Arrays may be returned as views into transport
+    owned buffers provided the buffer outlives every returned view.
+``dispose(record) -> None``
+    Release any out-of-band resources (e.g. shared-memory segments) held
+    by a record that will *never* be decoded -- the fabric calls this when
+    draining undelivered messages on shutdown, abort and timeout paths.
+``retire_rings(names) -> None`` (optional)
+    Unlink/release the named ring buffers at the end of a fabric run;
+    only called by fabrics that handed out ring names.
+``uses_shared_memory`` (optional attribute)
+    True when the transport creates shared-memory segments; the fabric
+    then starts the ``multiprocessing`` resource tracker in the parent
+    before the rank processes fork, so every process shares one tracker.
+
+Transports are deliberately independent of the random streams, so a fixed
+machine seed produces bit-identical results on every transport (enforced by
+``tests/integration/test_cross_backend_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "PayloadTransport",
+    "PickleTransport",
+    "register_transport",
+    "get_transport",
+    "available_transports",
+    "resolve_transport",
+]
+
+# Markers of the buffer-based payload encoding (shared by all transports).
+_ND, _TUPLE, _LIST, _DICT, _RAW = "nd", "tuple", "list", "dict", "raw"
+#: Marker of a zero-copy reference into a shared-memory segment.
+SHMREF = "shmref"
+#: Marker of a record whose bulk arrays live in one dedicated segment
+#: (created per message, unlinked by the receiver on decode).
+SHMSEG = "shmseg"
+#: Marker of a record whose bulk arrays live in a per-sender ring segment
+#: (created once per fabric run, retired by the fabric at shutdown).
+SHMRING = "shmring"
+
+
+def walk_encode(obj, array_hook: Callable[[np.ndarray], tuple | None]):
+    """Encode ``obj`` recursively; ``array_hook`` may claim arrays first.
+
+    ``array_hook(arr)`` returns a record to use for ``arr`` or ``None`` to
+    fall through to the inline ``(dtype, shape, bytes)`` encoding.  Object
+    dtype arrays always travel as plain pickles (their buffers hold
+    pointers that are meaningless in another address space).
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            return (_RAW, obj)
+        record = array_hook(obj)
+        if record is not None:
+            return record
+        arr = np.ascontiguousarray(obj)
+        # ascontiguousarray promotes 0-d to 1-d; keep the caller's shape.
+        return (_ND, arr.dtype, obj.shape, arr.tobytes())
+    if isinstance(obj, tuple):
+        return (_TUPLE, tuple(walk_encode(v, array_hook) for v in obj))
+    if isinstance(obj, list):
+        return (_LIST, [walk_encode(v, array_hook) for v in obj])
+    if isinstance(obj, dict):
+        return (_DICT, {k: walk_encode(v, array_hook) for k, v in obj.items()})
+    return (_RAW, obj)
+
+
+def walk_decode(enc, ref_hook: Callable[[tuple], np.ndarray] | None = None):
+    """Inverse of :func:`walk_encode`; ``ref_hook`` resolves SHMREF records."""
+    kind, value = enc[0], enc[1]
+    if kind == _ND:
+        _, dtype, shape, data = enc
+        return np.frombuffer(data, dtype=np.dtype(dtype)).reshape(shape).copy()
+    if kind == SHMREF:
+        if ref_hook is None:
+            raise ValidationError(
+                "shared-memory reference record outside a shared-memory segment"
+            )
+        return ref_hook(enc)
+    if kind == _TUPLE:
+        return tuple(walk_decode(v, ref_hook) for v in value)
+    if kind == _LIST:
+        return [walk_decode(v, ref_hook) for v in value]
+    if kind == _DICT:
+        return {k: walk_decode(v, ref_hook) for k, v in value.items()}
+    return value
+
+
+class PayloadTransport:
+    """Base class for payload transports (subclassing is optional)."""
+
+    name = "abstract"
+
+    def encode(self, payload, *, ring: str | None = None):
+        """Turn ``payload`` into a picklable control record."""
+        raise NotImplementedError
+
+    def decode(self, record):
+        """Rebuild the payload of a delivered control record."""
+        raise NotImplementedError
+
+    def dispose(self, record) -> None:
+        """Release out-of-band resources of a record that won't be decoded."""
+        # In-band transports hold nothing outside the record itself.
+
+    def retire_rings(self, names) -> None:
+        """Release the named per-sender ring buffers (end of a fabric run)."""
+        # In-band transports have no rings.
+
+
+class PickleTransport(PayloadTransport):
+    """Queue-borne payloads: arrays as raw buffers, the rest pickled.
+
+    This is the historic process-backend codec; receivers always get fresh
+    writable copies.  It holds no out-of-band state, so :meth:`dispose` is
+    a no-op and ``ring`` hints are ignored.
+    """
+
+    name = "pickle"
+
+    def encode(self, payload, *, ring: str | None = None):
+        return walk_encode(payload, lambda arr: None)
+
+    def decode(self, record):
+        return walk_decode(record)
+
+
+# ----------------------------------------------------------------------------
+# Transport registry
+# ----------------------------------------------------------------------------
+_TRANSPORTS: dict[str, Callable[..., PayloadTransport]] = {}
+
+
+def register_transport(name: str, factory: Callable[..., PayloadTransport],
+                       *, overwrite: bool = False) -> None:
+    """Register a transport factory (usually the class) under ``name``."""
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"transport name must be a non-empty string, got {name!r}")
+    if name in _TRANSPORTS and not overwrite:
+        raise ValidationError(
+            f"transport {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _TRANSPORTS[name] = factory
+
+
+def available_transports() -> tuple[str, ...]:
+    """Sorted names of all registered transports."""
+    return tuple(sorted(_TRANSPORTS))
+
+
+def get_transport(name: str, **options) -> PayloadTransport:
+    """Instantiate the transport registered under ``name``."""
+    factory = _TRANSPORTS.get(name)
+    if factory is None:
+        raise ValidationError(
+            f"unknown transport {name!r}; registered transports: "
+            f"{', '.join(available_transports())}"
+        )
+    return factory(**options)
+
+
+def resolve_transport(transport: str | PayloadTransport | None) -> PayloadTransport:
+    """Turn a transport name, instance or ``None`` into a transport instance.
+
+    ``None`` resolves to the default :class:`PickleTransport`; strings go
+    through the registry; objects are accepted as-is provided they expose
+    ``encode``/``decode`` (duck-typed custom transports remain supported).
+    """
+    if transport is None:
+        return PickleTransport()
+    if isinstance(transport, str):
+        return get_transport(transport)
+    if not (hasattr(transport, "encode") and hasattr(transport, "decode")):
+        raise ValidationError(
+            "a transport object must expose encode() and decode() methods"
+        )
+    return transport
+
+
+register_transport("pickle", PickleTransport)
+
+# The shared-memory transport registers itself on import; importing it here
+# keeps the registry complete whenever any transport lookup is possible.
+from repro.pro.backends import sharedmem as _sharedmem  # noqa: E402,F401  (self-registers)

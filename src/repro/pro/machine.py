@@ -110,6 +110,12 @@ class PROMachine:
         :mod:`repro.pro.backends.registry` for the full contract).  For a
         fixed ``seed`` the per-rank streams, and hence the results, are
         identical across backends.
+    backend_options:
+        Extra keyword arguments forwarded to the backend factory when
+        ``backend`` is a name, e.g.
+        ``backend="process", backend_options={"transport": "sharedmem"}``.
+        Rejected (``ValidationError``) when ``backend`` is an instance or
+        when the factory does not understand an option.
     topology:
         Interconnect model used by the analytic time predictions; a
         :class:`~repro.pro.topology.Topology` instance or a name
@@ -129,6 +135,7 @@ class PROMachine:
         *,
         seed=None,
         backend: str | object = "thread",
+        backend_options: dict | None = None,
         topology: str | Topology = "fully-connected",
         count_random_variates: bool = False,
         timeout: float = 60.0,
@@ -147,7 +154,7 @@ class PROMachine:
         else:
             self.topology = topology_from_name(str(topology), self.n_procs)
 
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend(backend, **(backend_options or {}))
         capabilities = getattr(self.backend, "capabilities", None)
         if (
             capabilities is not None
@@ -235,6 +242,7 @@ def resolve_machine(
     machine: PROMachine | None = None,
     backend: str | object | None = None,
     seed=None,
+    transport: str | object | None = None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -242,14 +250,24 @@ def resolve_machine(
     (:func:`~repro.core.parallel_matrix.sample_matrix_parallel`,
     :func:`~repro.core.permutation.permute_distributed`): passing both a
     pre-configured machine and a backend name is rejected because the
-    machine already fixes its backend.
+    machine already fixes its backend.  ``transport`` selects the payload
+    transport of backends that take one (the process backend:
+    ``"sharedmem"`` or ``"pickle"``); it is rejected for backends without
+    a transport option and for pre-configured machines.
     """
     if machine is None:
+        options = {} if transport is None else {"transport": transport}
         return PROMachine(
-            n_procs, seed=seed, backend="thread" if backend is None else backend
+            n_procs, seed=seed, backend="thread" if backend is None else backend,
+            backend_options=options,
         )
     if backend is not None:
         raise ValidationError(
             "pass either a pre-configured machine or a backend name, not both"
+        )
+    if transport is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or a transport name, not both "
+            "(the machine's backend already fixes its transport)"
         )
     return machine

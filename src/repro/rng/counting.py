@@ -108,17 +108,23 @@ class CountingRNG:
     def hypergeometric(self, ngood, nbad, nsample, size=None):
         """NumPy's hypergeometric sampler (oracle and batched-kernel path).
 
-        Charged one uniform per scalar sample drawn; with ``size=None`` and
-        array arguments (the vectorized form the batched engine kernels
-        use) the charge is the broadcast shape's element count.  The true
+        Charged one uniform per scalar sample drawn -- always the broadcast
+        size of the call: with ``size=None`` the broadcast shape of the
+        three parameter arrays (the vectorized form the batched engine
+        kernels and ``SamplerEngine.draw_many`` use), with an explicit
+        ``size`` the broadcast of that shape with the parameters.  The true
         uniform consumption of the library's own scalar samplers is what
         :mod:`repro.core.hypergeometric` reports.
         """
         self.calls += 1
+        param_shape = np.broadcast(
+            np.asarray(ngood), np.asarray(nbad), np.asarray(nsample)
+        ).shape
         if size is None:
-            self.uniforms_drawn += int(
-                np.broadcast(np.asarray(ngood), np.asarray(nbad), np.asarray(nsample)).size
-            )
+            shape = param_shape
+        elif np.isscalar(size):
+            shape = np.broadcast_shapes(param_shape, (int(size),))
         else:
-            self.uniforms_drawn += _size_to_count(size)
+            shape = np.broadcast_shapes(param_shape, tuple(size))
+        self.uniforms_drawn += int(np.prod(shape, dtype=np.int64)) if shape else 1
         return self._generator.hypergeometric(ngood, nbad, nsample, size)

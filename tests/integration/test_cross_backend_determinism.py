@@ -90,6 +90,63 @@ class TestMatrixDeterminism:
             sample_communication_matrix([4, 4], backend="process")
 
 
+class TestTransportDeterminism:
+    """pickle vs sharedmem payload transport: bit-identical for a fixed seed.
+
+    The transports only move bytes; they never touch the per-rank random
+    streams, so every (backend, transport) combination must agree exactly.
+    """
+
+    TRANSPORTS = ["pickle", "sharedmem"]
+
+    def test_matrix_identical_across_transports(self):
+        row_sums = np.arange(1, 5) * 7
+        reference, _ = sample_matrix_parallel(row_sums, backend="thread", seed=404)
+        for transport in self.TRANSPORTS:
+            matrix, _ = sample_matrix_parallel(
+                row_sums, backend="process", transport=transport, seed=404
+            )
+            assert np.array_equal(reference, matrix), transport
+
+    @pytest.mark.parametrize("matrix_algorithm", ALGORITHMS)
+    def test_permutation_identical_across_transports(self, matrix_algorithm):
+        data = np.arange(4000, dtype=np.int64)
+        outputs = [
+            random_permutation(data, n_procs=4, backend="thread",
+                               matrix_algorithm=matrix_algorithm, seed=77)
+        ]
+        outputs += [
+            random_permutation(data, n_procs=4, backend="process",
+                               transport=transport,
+                               matrix_algorithm=matrix_algorithm, seed=77)
+            for transport in self.TRANSPORTS
+        ]
+        for out in outputs[1:]:
+            assert np.array_equal(outputs[0], out)
+        assert sorted(outputs[0].tolist()) == list(range(4000))
+
+    def test_transport_and_machine_mutually_exclusive(self):
+        machine = PROMachine(2, seed=0)
+        with pytest.raises(ValidationError):
+            sample_matrix_parallel([4, 4], machine=machine, transport="sharedmem")
+
+    def test_transport_rejected_for_thread_backend(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            sample_matrix_parallel([4, 4], backend="thread", transport="sharedmem")
+
+    def test_api_level_transport_parity(self):
+        matrices = [
+            sample_communication_matrix([9, 9, 9], parallel=True, backend="process",
+                                        transport=transport, seed=55)
+            for transport in self.TRANSPORTS
+        ]
+        assert np.array_equal(matrices[0], matrices[1])
+
+    def test_transport_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            sample_communication_matrix([4, 4], transport="sharedmem")
+
+
 class TestPermutationDeterminism:
     def test_thread_and_process_permute_identically(self):
         data = np.arange(60, dtype=np.int64)

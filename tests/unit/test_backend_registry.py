@@ -106,6 +106,18 @@ class TestResolveBackend:
         with pytest.raises(ValidationError):
             resolve_backend(object())
 
+    def test_options_forwarded_to_named_factories(self):
+        backend = resolve_backend("process", transport="pickle")
+        assert backend.transport.name == "pickle"
+
+    def test_unsupported_options_rejected_with_message(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            resolve_backend("thread", transport="sharedmem")
+
+    def test_options_rejected_for_instances(self):
+        with pytest.raises(ValidationError, match="by name"):
+            resolve_backend(ThreadBackend(), transport="sharedmem")
+
 
 class TestMachineIntegration:
     def test_machine_rejects_multirank_on_inline(self):

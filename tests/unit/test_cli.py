@@ -24,6 +24,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_transport_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["permute", "--n", "10", "--backend", "process", "--transport", "sharedmem"]
+        )
+        assert args.transport == "sharedmem"
+        assert build_parser().parse_args(["permute", "--n", "10"]).transport is None
+
+    def test_transport_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["permute", "--n", "10", "--transport", "carrier-pigeon"]
+            )
+
 
 class TestCommands:
     def test_permute(self, capsys):
@@ -38,6 +51,18 @@ class TestCommands:
                      "--matrix-algorithm", "alg6"])
         assert code == 0
         assert "permuted 60 items" in capsys.readouterr().out
+
+    def test_permute_process_transport(self, capsys):
+        code = main(["permute", "--n", "200", "--procs", "2", "--seed", "1",
+                     "--backend", "process", "--transport", "sharedmem"])
+        assert code == 0
+        assert "permuted 200 items" in capsys.readouterr().out
+
+    def test_transport_rejected_for_thread_backend(self):
+        from repro.util.errors import ValidationError
+        with pytest.raises(ValidationError, match="does not accept"):
+            main(["permute", "--n", "50", "--backend", "thread",
+                  "--transport", "sharedmem"])
 
     def test_matrix_sequential(self, capsys):
         code = main(["matrix", "--sizes", "5,5,5", "--seed", "2"])

@@ -111,6 +111,50 @@ class TestPrograms:
         assert MATRIX_ALGORITHMS["root"] is root_scatter_program
 
 
+class TestTileStrategyResolution:
+    def test_auto_resolves_to_batched_for_vector_methods(self):
+        from repro.core.parallel_matrix import resolve_tile_strategy
+        assert resolve_tile_strategy("auto", "auto") == "batched"
+        assert resolve_tile_strategy("auto", "numpy") == "batched"
+
+    def test_auto_falls_back_for_scalar_methods(self):
+        from repro.core.parallel_matrix import resolve_tile_strategy
+        assert resolve_tile_strategy("auto", "hin") == "sequential"
+        assert resolve_tile_strategy("auto", "hrua") == "sequential"
+
+    def test_explicit_strategies_pass_through(self):
+        from repro.core.parallel_matrix import resolve_tile_strategy
+        for strategy in ("sequential", "recursive", "batched"):
+            assert resolve_tile_strategy(strategy, "auto") == strategy
+
+    def test_unknown_strategy_rejected(self):
+        from repro.core.parallel_matrix import resolve_tile_strategy
+        with pytest.raises(ValidationError, match="tile_strategy"):
+            resolve_tile_strategy("bogus", "auto")
+
+    def test_default_auto_matches_explicit_batched(self):
+        # The driver default (auto) must be the vectorized engine path.
+        rows = [10, 10, 10, 10]
+        default, _ = sample_matrix_parallel(rows, algorithm="alg6", seed=123)
+        batched, _ = sample_matrix_parallel(rows, algorithm="alg6", seed=123,
+                                            tile_strategy="batched")
+        assert np.array_equal(default, batched)
+
+    def test_scalar_method_still_works_with_auto(self):
+        rows = [6, 6, 6, 6]
+        matrix, _ = sample_matrix_parallel(rows, algorithm="alg6", seed=5,
+                                           method="hin")
+        assert np.array_equal(matrix.sum(axis=1), rows)
+
+    def test_alg5_accepts_auto_and_sequential_only(self):
+        matrix, _ = sample_matrix_parallel([4, 4], algorithm="alg5", seed=0,
+                                           tile_strategy="auto")
+        assert matrix.sum() == 8
+        with pytest.raises(ValidationError, match="alg5"):
+            sample_matrix_parallel([4, 4], algorithm="alg5", seed=0,
+                                   tile_strategy="batched")
+
+
 class TestCostStructure:
     def test_alg6_per_processor_words_are_linear_in_p(self):
         """Proposition 9: O(p) words per processor for Algorithm 6."""

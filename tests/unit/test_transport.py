@@ -1,0 +1,275 @@
+"""Contract tests for the payload transports of the process backend.
+
+Every transport must round-trip arbitrary payloads (arrays of any dtype,
+nested containers, empty and huge arrays, plain objects), release
+out-of-band resources for records that are never decoded (abort and
+timeout paths), and never touch the random streams.  The shared-memory
+transport additionally promises zero-copy receive views and a transparent
+fallback to the pickle codec when segments cannot be created.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.pro.backends import sharedmem as sharedmem_module
+from repro.pro.backends.process import ProcessBackend, ProcessFabric
+from repro.pro.backends.sharedmem import SharedMemoryTransport, shared_memory_available
+from repro.pro.backends.transport import (
+    SHMSEG,
+    PickleTransport,
+    available_transports,
+    get_transport,
+    resolve_transport,
+)
+from repro.pro.machine import PROMachine
+from repro.util.errors import BackendError, ValidationError
+
+TRANSPORTS = ["pickle", "sharedmem"]
+
+
+def make_transport(name):
+    if name == "sharedmem":
+        # A tiny threshold so even small test arrays exercise the segments.
+        return SharedMemoryTransport(min_bytes=16)
+    return get_transport(name)
+
+
+def shm_segments():
+    """Names of the POSIX shared-memory segments currently linked."""
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+PAYLOADS = [
+    np.arange(1000, dtype=np.int64),
+    np.arange(12, dtype=np.float32).reshape(3, 4),
+    np.empty(0, dtype=np.int64),
+    np.array(3.5),  # 0-d
+    np.arange(1_000_000, dtype=np.int64),  # huge: 8 MB
+    {"key": np.ones(300), "nested": (1, [np.zeros(5, dtype=bool), "text"])},
+    (None, 42, "plain"),
+    [np.arange(64, dtype=np.int16)[::2]],  # non-contiguous view
+]
+
+
+class TestTransportRegistry:
+    def test_builtins_registered(self):
+        assert set(TRANSPORTS) <= set(available_transports())
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValidationError, match="unknown transport"):
+            get_transport("carrier-pigeon")
+
+    def test_resolve_none_gives_pickle(self):
+        assert isinstance(resolve_transport(None), PickleTransport)
+
+    def test_resolve_instance_passthrough(self):
+        transport = SharedMemoryTransport()
+        assert resolve_transport(transport) is transport
+
+    def test_resolve_rejects_non_transport(self):
+        with pytest.raises(ValidationError, match="encode"):
+            resolve_transport(object())
+
+    def test_min_bytes_validated(self):
+        with pytest.raises(ValidationError):
+            SharedMemoryTransport(min_bytes=0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    @pytest.mark.parametrize("payload", PAYLOADS, ids=range(len(PAYLOADS)))
+    def test_payload_roundtrip(self, transport_name, payload):
+        transport = make_transport(transport_name)
+        out = transport.decode(transport.encode(payload))
+
+        def compare(a, b):
+            if isinstance(a, np.ndarray):
+                assert isinstance(b, np.ndarray)
+                assert a.dtype == b.dtype
+                assert a.shape == b.shape
+                assert np.array_equal(a, b)
+            elif isinstance(a, (list, tuple)):
+                assert type(a) is type(b) and len(a) == len(b)
+                for x, y in zip(a, b):
+                    compare(x, y)
+            elif isinstance(a, dict):
+                assert set(a) == set(b)
+                for k in a:
+                    compare(a[k], b[k])
+            else:
+                assert a == b
+
+        compare(payload, out)
+
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    def test_structured_dtype_preserved(self, transport_name):
+        dtype = np.dtype([("key", np.int64), ("value", np.float64)])
+        data = np.zeros(400, dtype=dtype)
+        data["key"] = np.arange(400)
+        data["value"] = np.arange(400) * 0.5
+        transport = make_transport(transport_name)
+        out = transport.decode(transport.encode(data))
+        assert out.dtype == dtype
+        assert np.array_equal(out["key"], data["key"])
+        assert np.allclose(out["value"], data["value"])
+
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    def test_object_arrays_survive(self, transport_name):
+        payload = np.array(["a", ("tuple",), None], dtype=object)
+        transport = make_transport(transport_name)
+        out = transport.decode(transport.encode(payload))
+        assert out.dtype == object
+        assert out.tolist() == payload.tolist()
+
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    def test_decoded_arrays_are_writable_and_private(self, transport_name):
+        original = np.arange(2048, dtype=np.int64)
+        transport = make_transport(transport_name)
+        out = transport.decode(transport.encode(original))
+        out[0] = -99  # must not raise
+        assert original[0] == 0
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory")
+class TestSharedMemoryLifecycle:
+    def test_bulk_arrays_use_segments(self):
+        transport = SharedMemoryTransport(min_bytes=16)
+        record = transport.encode(np.arange(1000, dtype=np.int64))
+        assert record[0] == SHMSEG
+        transport.dispose(record)
+
+    def test_small_arrays_stay_inline(self):
+        transport = SharedMemoryTransport(min_bytes=10**6)
+        record = transport.encode(np.arange(100, dtype=np.int64))
+        assert record[0] != SHMSEG
+
+    def test_segment_unlinked_on_decode_and_freed_with_views(self):
+        transport = SharedMemoryTransport(min_bytes=16)
+        before = shm_segments()
+        record = transport.encode(np.arange(5000, dtype=np.int64))
+        assert shm_segments() - before  # the segment exists while in flight
+        view = transport.decode(record)
+        assert shm_segments() == before  # unlinked immediately on decode
+        assert np.array_equal(view, np.arange(5000))
+        del view
+        gc.collect()
+
+    def test_dispose_unlinks_undelivered_segments(self):
+        transport = SharedMemoryTransport(min_bytes=16)
+        before = shm_segments()
+        record = transport.encode({"a": np.arange(4000), "b": np.ones(2000)})
+        assert shm_segments() - before
+        transport.dispose(record)
+        assert shm_segments() == before
+
+    def test_dispose_is_idempotent_and_ignores_inline_records(self):
+        transport = SharedMemoryTransport(min_bytes=16)
+        record = transport.encode(np.arange(1000))
+        transport.dispose(record)
+        transport.dispose(record)  # already unlinked: must not raise
+        transport.dispose(transport.encode("just a string"))
+
+    def test_unavailable_falls_back_to_inline(self, monkeypatch):
+        monkeypatch.setattr(sharedmem_module, "_PROBE", (os.getpid(), False))
+        transport = SharedMemoryTransport(min_bytes=16)
+        record = transport.encode(np.arange(1000, dtype=np.int64))
+        assert record[0] != SHMSEG
+        assert np.array_equal(transport.decode(record), np.arange(1000))
+
+    def test_creation_failure_degrades_gracefully(self, monkeypatch):
+        transport = SharedMemoryTransport(min_bytes=16)
+
+        def boom(*args, **kwargs):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(sharedmem_module._shm_module, "SharedMemory", boom)
+        monkeypatch.setattr(sharedmem_module, "_PROBE", (os.getpid(), True))
+        record = transport.encode(np.arange(1000, dtype=np.int64))
+        assert record[0] != SHMSEG
+        assert np.array_equal(PickleTransport().decode(record), np.arange(1000))
+
+
+class TestFabricIntegration:
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    def test_put_get_roundtrip(self, transport_name):
+        fabric = ProcessFabric(2, timeout=5.0, transport=make_transport(transport_name))
+        try:
+            payload = {"data": np.arange(3000, dtype=np.int64), "tag": "x"}
+            fabric.put(0, 1, "t", payload)
+            out = fabric.get(0, 1, "t", [])
+            assert np.array_equal(out["data"], payload["data"])
+            assert out["tag"] == "x"
+        finally:
+            fabric.shutdown()
+
+    def test_shutdown_disposes_inflight_sharedmem(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory")
+        before = shm_segments()
+        fabric = ProcessFabric(2, timeout=5.0,
+                               transport=SharedMemoryTransport(min_bytes=16))
+        fabric.put(0, 1, "never-received", np.arange(4000, dtype=np.int64))
+        # Give the queue feeder a moment, then abort-style shutdown.
+        fabric.abort()
+        fabric.shutdown(drain_timeout=0.5)
+        assert shm_segments() == before
+
+    def test_fabric_name_reports_transport(self):
+        fabric = ProcessFabric(1, transport="pickle")
+        try:
+            assert fabric.transport.name == "pickle"
+        finally:
+            fabric.shutdown()
+
+
+class TestBackendIntegration:
+    @pytest.mark.parametrize("transport_name", TRANSPORTS)
+    def test_machine_runs_with_transport(self, transport_name):
+        machine = PROMachine(3, seed=4, backend="process",
+                             backend_options={"transport": transport_name})
+        assert machine.backend.transport.name == transport_name
+
+        def program(ctx):
+            gathered = ctx.comm.allgather(np.full(2000, ctx.rank, dtype=np.int64))
+            return int(sum(g.sum() for g in gathered))
+
+        assert machine.run(program).results == [6000, 6000, 6000]
+
+    def test_abort_mid_transfer_leaves_no_segments(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory")
+        before = shm_segments()
+        machine = PROMachine(3, seed=0, backend="process", timeout=10)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                # Bulk payload nobody will ever receive, then crash.
+                ctx.comm.send(np.arange(50_000, dtype=np.int64), 1, tag=9)
+                raise RuntimeError("mid-transfer crash")
+            ctx.comm.barrier()
+            return ctx.rank
+
+        with pytest.raises(BackendError, match="rank 0"):
+            machine.run(program)
+        assert shm_segments() - before == set()
+
+    def test_unknown_transport_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ProcessBackend(transport="bogus")
+
+    def test_non_process_backend_rejects_transport_option(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            PROMachine(2, backend="thread", backend_options={"transport": "sharedmem"})
+
+    def test_results_transported_through_sharedmem(self):
+        machine = PROMachine(2, seed=1, backend="process",
+                             backend_options={"transport": SharedMemoryTransport(min_bytes=16)})
+        run = machine.run(lambda ctx: np.full(5000, ctx.rank, dtype=np.int64))
+        assert np.array_equal(run.results[1], np.full(5000, 1))
+        run.results[1][0] = 123  # zero-copy views must still be writable
