@@ -2,30 +2,36 @@
 
 Times the two driver-level workloads -- communication-matrix sampling on a
 PRO machine and the distributed permutation (Algorithm 1) -- on every
-execution backend, and for the process backend on *both* payload
-transports (``pickle`` queue buffers vs ``sharedmem`` zero-copy segments),
-at several ``(n, p)`` points.  Run with ``--benchmark-json`` to get the
-same pytest-benchmark JSON shape as the rest of the suite (one record per
-(workload, backend, transport, n, p) with the parameters echoed in
-``extra_info``).
+execution backend, for the process backend on *both* payload transports
+(``pickle`` queue buffers vs ``sharedmem`` zero-copy segments), and for
+each transport both *cold* (fresh processes per run) and *persistent*
+(runs dispatched to a standing worker pool), at several ``(n, p)``
+points.  A third workload, ``dispatch``, runs a trivial program so that
+nothing but the per-run fixed cost is measured: for cold variants that is
+machine construction plus process spawn, for persistent variants the
+task-queue dispatch to the standing pool.  Run with ``--benchmark-json``
+to get the same pytest-benchmark JSON shape as the rest of the suite (one
+record per (workload, backend, transport, persistent, n, p) with the
+parameters echoed in ``extra_info``).
 
 Reading the numbers: the thread backend wins at small in-process problem
 sizes (rank start-up is microseconds and NumPy releases the GIL), while
-the process backend pays process spawn plus payload movement per run.
-The share of that overhead due to *serialisation* is what the transport
-dimension isolates: with ``sharedmem`` every bulk payload crosses the
-address-space gap with one copy into a segment and a zero-copy view out,
-instead of the pickle path's encode -> pipe write -> pipe read -> rebuild.
-The acceptance gate of this suite is that at the 1M-element / p=8 point
-the sharedmem transport cuts the process-backend overhead (wall time
-minus the thread reference) at least in half.
+the cold process backend pays process spawn plus payload movement per
+run.  The transport dimension isolates the *serialisation* share of that
+overhead (sharedmem ships every bulk payload with one copy in and a
+zero-copy view out); the persistent dimension isolates the *spawn* share:
+a standing pool pays it once, so the acceptance gate of ISSUE 3 is that
+the persistent pool's per-run dispatch overhead is at least 5x lower than
+cold-spawn at the ``dispatch`` point on a multi-core box.
 
 Direct execution writes the tracked perf-trajectory artifact::
 
     PYTHONPATH=src python benchmarks/bench_backends.py --json benchmarks/BENCH_backends.json
 
-producing per-(workload, backend, transport, n, p) median wall times so
-that future PRs can diff the trajectory.
+producing per-(workload, backend, transport, persistent, n, p) median
+wall times so that future PRs can diff the trajectory
+(``benchmarks/check_bench_regression.py`` is the CI smoke gate doing
+exactly that for the 1M / p=4 cell).
 """
 
 import argparse
@@ -43,53 +49,106 @@ except ImportError:  # pragma: no cover - direct execution without pytest
 
 from repro.core.parallel_matrix import sample_matrix_parallel
 from repro.core.permutation import random_permutation
+from repro.pro.machine import PROMachine
 
 #: (n_items, n_procs) grid; inline only participates where p == 1.
-POINTS = [(20_000, 1), (20_000, 2), (20_000, 4), (100_000, 4)]
+POINTS = [(20_000, 1), (20_000, 2), (20_000, 4), (100_000, 4), (1_000_000, 4)]
 #: The acceptance point of the transport comparison (ISSUE 2).
 BIG_POINT = (1_000_000, 8)
-#: (backend, transport) variants; None means the backend has no transport.
+#: The per-run fixed-cost workload runs a trivial program at this point.
+DISPATCH_POINT = (0, 4)
+#: (backend, transport, persistent) variants; None means no transport.
 VARIANTS = [
-    ("inline", None),
-    ("thread", None),
-    ("process", "pickle"),
-    ("process", "sharedmem"),
+    ("inline", None, False),
+    ("thread", None, False),
+    ("process", "pickle", False),
+    ("process", "sharedmem", False),
+    ("process", "pickle", True),
+    ("process", "sharedmem", True),
 ]
 
 
-def _variant_id(backend, transport):
-    return backend if transport is None else f"{backend}-{transport}"
+def _variant_id(backend, transport, persistent=False):
+    vid = backend if transport is None else f"{backend}-{transport}"
+    return f"{vid}-persistent" if persistent else vid
 
 
-def _run_matrix(backend, transport, n_items, n_procs):
+def _machine_options(transport):
+    return {} if transport is None else {"transport": transport}
+
+
+def _trivial_program(ctx):
+    """Module-level no-op rank program (picklable for the persistent pool)."""
+    return ctx.rank
+
+
+def _run_matrix(backend, transport, n_items, n_procs, machine=None):
     row_sums = np.full(n_procs, n_items // n_procs, dtype=np.int64)
     matrix, _ = sample_matrix_parallel(
         row_sums, algorithm="alg6" if n_procs > 1 else "root",
-        backend=backend, transport=transport, seed=0,
+        machine=machine,
+        backend=None if machine is not None else backend,
+        transport=None if machine is not None else transport,
+        seed=None if machine is not None else 0,
     )
     return matrix
 
 
-def _run_permutation(backend, transport, n_items, n_procs):
+def _run_permutation(backend, transport, n_items, n_procs, machine=None):
     data = np.arange(n_items, dtype=np.int64)
-    return random_permutation(data, n_procs=n_procs, backend=backend,
-                              transport=transport, seed=0)
+    return random_permutation(
+        data, n_procs=n_procs, machine=machine,
+        backend=None if machine is not None else backend,
+        transport=None if machine is not None else transport,
+        seed=None if machine is not None else 0,
+    )
 
 
-WORKLOADS = {"matrix": _run_matrix, "permutation": _run_permutation}
+def _run_dispatch(backend, transport, n_items, n_procs, machine=None):
+    if machine is not None:
+        return machine.run(_trivial_program).results
+    cold = PROMachine(n_procs, seed=0, backend=backend,
+                      backend_options=_machine_options(transport))
+    return cold.run(_trivial_program).results
+
+
+WORKLOADS = {"matrix": _run_matrix, "permutation": _run_permutation,
+             "dispatch": _run_dispatch}
+
+
+def make_runner(workload, backend, transport, persistent, n_items, n_procs):
+    """Build ``(callable, closer)`` for one benchmark cell.
+
+    Cold variants construct their machinery inside every call (that is the
+    cost being measured); persistent variants build one standing machine
+    up front -- the pool spawn happens on the warmup run -- and each call
+    times a dispatch to the warm pool.
+    """
+    fn = WORKLOADS[workload]
+    if not persistent:
+        return (lambda: fn(backend, transport, n_items, n_procs)), (lambda: None)
+    machine = PROMachine(n_procs, seed=0, backend=backend,
+                         backend_options=_machine_options(transport),
+                         persistent=True)
+    return (lambda: fn(backend, transport, n_items, n_procs, machine=machine),
+            machine.close)
 
 
 def median_seconds(workload, backend, transport, n_items, n_procs,
-                   *, rounds=3, warmup=1):
+                   *, persistent=False, rounds=3, warmup=1):
     """Median wall time of ``rounds`` runs after ``warmup`` throwaway runs."""
-    fn = WORKLOADS[workload]
-    for _ in range(warmup):
-        fn(backend, transport, n_items, n_procs)
-    times = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn(backend, transport, n_items, n_procs)
-        times.append(time.perf_counter() - start)
+    runner, closer = make_runner(workload, backend, transport, persistent,
+                                 n_items, n_procs)
+    try:
+        for _ in range(warmup):
+            runner()
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            runner()
+            times.append(time.perf_counter() - start)
+    finally:
+        closer()
     return float(statistics.median(times))
 
 
@@ -103,44 +162,54 @@ if pytest is not None:
             pytest.skip("the inline backend only runs single-rank machines")
 
     @pytest.mark.benchmark(group="backends-matrix")
-    @pytest.mark.parametrize("backend,transport", VARIANTS,
-                             ids=[_variant_id(b, t) for b, t in VARIANTS])
-    @pytest.mark.parametrize("n_items,n_procs", POINTS)
+    @pytest.mark.parametrize("backend,transport,persistent", VARIANTS,
+                             ids=[_variant_id(*v) for v in VARIANTS])
+    @pytest.mark.parametrize("n_items,n_procs", POINTS[:4])
     def test_benchmark_matrix_sampling_backends(benchmark, backend, transport,
-                                                n_items, n_procs):
+                                                persistent, n_items, n_procs):
         _skip_if_incompatible(backend, n_procs)
         benchmark.extra_info.update({"backend": backend, "transport": transport,
+                                     "persistent": persistent,
                                      "n": n_items, "p": n_procs})
-        matrix = benchmark.pedantic(
-            lambda: _run_matrix(backend, transport, n_items, n_procs),
-            rounds=3, iterations=1, warmup_rounds=1,
-        )
+        runner, closer = make_runner("matrix", backend, transport, persistent,
+                                     n_items, n_procs)
+        try:
+            matrix = benchmark.pedantic(runner, rounds=3, iterations=1,
+                                        warmup_rounds=1)
+        finally:
+            closer()
         assert matrix.sum() == n_procs * (n_items // n_procs)
 
     @pytest.mark.benchmark(group="backends-permutation")
-    @pytest.mark.parametrize("backend,transport", VARIANTS,
-                             ids=[_variant_id(b, t) for b, t in VARIANTS])
-    @pytest.mark.parametrize("n_items,n_procs", POINTS)
+    @pytest.mark.parametrize("backend,transport,persistent", VARIANTS,
+                             ids=[_variant_id(*v) for v in VARIANTS])
+    @pytest.mark.parametrize("n_items,n_procs", POINTS[:4])
     def test_benchmark_permutation_backends(benchmark, backend, transport,
-                                            n_items, n_procs):
+                                            persistent, n_items, n_procs):
         _skip_if_incompatible(backend, n_procs)
         benchmark.extra_info.update({"backend": backend, "transport": transport,
+                                     "persistent": persistent,
                                      "n": n_items, "p": n_procs})
-        out = benchmark.pedantic(
-            lambda: _run_permutation(backend, transport, n_items, n_procs),
-            rounds=3, iterations=1, warmup_rounds=1,
-        )
+        runner, closer = make_runner("permutation", backend, transport,
+                                     persistent, n_items, n_procs)
+        try:
+            out = benchmark.pedantic(runner, rounds=3, iterations=1,
+                                     warmup_rounds=1)
+        finally:
+            closer()
         assert out.shape == (n_items,)
 
     def test_backends_agree_for_fixed_seed():
         """Smoke-level determinism check inside the benchmark suite."""
         row_sums = np.full(4, 500, dtype=np.int64)
         reference, _ = sample_matrix_parallel(row_sums, backend="thread", seed=9)
-        for backend, transport in VARIANTS[2:]:
+        for backend, transport, persistent in VARIANTS[2:]:
             matrix, _ = sample_matrix_parallel(
-                row_sums, backend=backend, transport=transport, seed=9
+                row_sums, backend=backend, transport=transport,
+                persistent=persistent, seed=9,
             )
-            assert np.array_equal(reference, matrix), (backend, transport)
+            assert np.array_equal(reference, matrix), (backend, transport,
+                                                       persistent)
 
     def test_sharedmem_halves_process_overhead():
         """ISSUE 2 acceptance: >= 2x lower process overhead at 1M / p=8.
@@ -192,8 +261,6 @@ if pytest is not None:
         holds on a single core too, because the cost is pure data
         movement.
         """
-        from repro.pro.machine import PROMachine
-
         n_items, n_procs = BIG_POINT
         block = n_items // n_procs
 
@@ -225,6 +292,31 @@ if pytest is not None:
         else:
             raise AssertionError(f"payload overhead never halved: {attempts}")
 
+    def test_persistent_pool_cuts_dispatch_overhead_5x():
+        """ISSUE 3 acceptance: warm-pool dispatch >= 5x cheaper than cold spawn.
+
+        The ``dispatch`` workload runs a trivial program, so its wall time
+        *is* the per-run fixed cost: machine construction plus p process
+        spawns for the cold backend, a task-queue round-trip to the
+        standing pool for the persistent one.  Spawn costs do not shrink
+        on small boxes, so the gate applies everywhere; a best-of-3 shield
+        absorbs scheduler noise.
+        """
+        n_items, n_procs = DISPATCH_POINT
+        attempts = []
+        for _ in range(3):
+            cold = median_seconds("dispatch", "process", "sharedmem",
+                                  n_items, n_procs, rounds=5)
+            warm = median_seconds("dispatch", "process", "sharedmem",
+                                  n_items, n_procs, persistent=True, rounds=5)
+            attempts.append(f"cold {cold * 1e3:.2f}ms vs warm {warm * 1e3:.2f}ms")
+            if warm * 5 <= cold:
+                break
+        else:
+            raise AssertionError(
+                "persistent dispatch never 5x cheaper: " + "; ".join(attempts)
+            )
+
 
 # ----------------------------------------------------------------------------
 # Tracked perf-trajectory artifact (BENCH_backends.json)
@@ -235,20 +327,30 @@ def collect_records(*, rounds=3):
     grid = POINTS + [BIG_POINT]
     thread_reference = {}
     for workload in sorted(WORKLOADS):
-        for n_items, n_procs in grid:
-            if workload == "matrix" and (n_items, n_procs) == BIG_POINT:
-                continue  # the matrix workload is O(p^2), n-independent
-            for backend, transport in VARIANTS:
+        if workload == "dispatch":
+            points = [DISPATCH_POINT]  # fixed cost is n-independent
+        elif workload == "matrix":
+            # The matrix workload is O(p^2) and n-independent: skip the
+            # big-n duplicates of the p=4 cell.
+            points = [pt for pt in grid
+                      if pt not in (BIG_POINT, (1_000_000, 4))]
+        else:
+            points = grid
+        for n_items, n_procs in points:
+            for backend, transport, persistent in VARIANTS:
                 if backend == "inline" and n_procs != 1:
                     continue
-                seconds = median_seconds(workload, backend, transport,
-                                         n_items, n_procs, rounds=rounds)
+                seconds = median_seconds(
+                    workload, backend, transport, n_items, n_procs,
+                    persistent=persistent, rounds=rounds,
+                )
                 if backend == "thread":
                     thread_reference[(workload, n_items, n_procs)] = seconds
                 records.append({
                     "workload": workload,
                     "backend": backend,
                     "transport": transport,
+                    "persistent": persistent,
                     "n": n_items,
                     "p": n_procs,
                     "median_seconds": round(seconds, 6),
@@ -264,6 +366,17 @@ def collect_records(*, rounds=3):
     return records
 
 
+def dispatch_speedup(records):
+    """Cold-spawn / warm-pool dispatch ratio from a record list (or None)."""
+    by_key = {}
+    for r in records:
+        if r["workload"] == "dispatch" and r["transport"] == "sharedmem":
+            by_key[bool(r.get("persistent"))] = r["median_seconds"]
+    if True in by_key and False in by_key and by_key[True] > 0:
+        return by_key[False] / by_key[True]
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Write the tracked backend/transport perf artifact."
@@ -275,20 +388,26 @@ def main(argv=None):
     records = collect_records(rounds=args.rounds)
     payload = {
         "suite": "bench_backends",
-        "schema": 1,
+        "schema": 2,
         "rounds": args.rounds,
         "records": records,
     }
+    speedup = dispatch_speedup(records)
+    if speedup is not None:
+        payload["dispatch_speedup_persistent_vs_cold"] = round(speedup, 2)
     with open(args.json, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    by_key = {(r["workload"], r["backend"], r["transport"], r["n"], r["p"]): r
-              for r in records}
-    big = {t: by_key.get(("permutation", "process", t) + BIG_POINT)
+    by_key = {(r["workload"], r["backend"], r["transport"],
+               r.get("persistent", False), r["n"], r["p"]): r for r in records}
+    big = {t: by_key.get(("permutation", "process", t, False) + BIG_POINT)
            for t in ("pickle", "sharedmem")}
     if all(big.values()):
         print(f"1M/p=8 permutation: pickle {big['pickle']['median_seconds']:.3f}s, "
               f"sharedmem {big['sharedmem']['median_seconds']:.3f}s")
+    if speedup is not None:
+        print(f"dispatch overhead: persistent pool {speedup:.1f}x cheaper "
+              "than cold spawn")
     print(f"wrote {len(records)} records to {args.json}")
     return 0
 

@@ -23,7 +23,8 @@ def test_benchmark_permutation_uniformity(benchmark, reproduction_summary):
     machine = PROMachine(2, seed=20030608)
 
     def run_test():
-        sampler = lambda: random_permutation_indices(4, machine=machine)
+        def sampler():
+            return random_permutation_indices(4, machine=machine)
         return chi_square_permutation_uniformity(sampler, 4, 4000)
 
     result = benchmark.pedantic(run_test, rounds=1, iterations=1)
@@ -40,7 +41,9 @@ def test_benchmark_matrix_law(benchmark, algorithm, reproduction_summary):
     machine = PROMachine(2, seed=hash(algorithm) % 2**31)
 
     def run_test():
-        sampler = lambda: sample_matrix_parallel(rows, cols, machine=machine, algorithm=algorithm)[0]
+        def sampler():
+            return sample_matrix_parallel(rows, cols, machine=machine,
+                                          algorithm=algorithm)[0]
         return chi_square_matrix_law(sampler, rows, cols, 2500)
 
     result = benchmark.pedantic(run_test, rounds=1, iterations=1)

@@ -1,0 +1,129 @@
+"""CI perf-regression smoke gate for the backend benchmark trajectory.
+
+Re-runs the 1M-item / p=4 permutation cell of ``bench_backends.py`` for
+every variant present in the tracked ``benchmarks/BENCH_backends.json``
+(plus the dispatch-overhead cell, which guards the persistent pool's
+raison d'etre), writes the fresh measurements as a JSON artifact for the
+workflow to upload, and fails only when a fresh median exceeds the
+tracked one by more than ``--factor`` (default 3x -- generous on purpose:
+shared CI runners are noisy, and the gate is meant to catch "the backend
+got an order of magnitude slower", not a 20% wobble).
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --tracked benchmarks/BENCH_backends.json \
+        --out bench-fresh.json
+
+Exit code 0 = no regression, 1 = at least one cell regressed beyond the
+tolerance, 2 = the tracked artifact is missing the expected cells.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_backends import DISPATCH_POINT, median_seconds  # noqa: E402
+
+#: The gated cell: big enough that payload movement dominates noise,
+#: p=4 so that it exercises real multi-rank traffic on standard runners.
+GATE_N, GATE_P = 1_000_000, 4
+
+#: Cells tracked below this are re-measured and reported but never fail
+#: the gate: on a shared runner, scheduler noise alone routinely costs a
+#: handful of milliseconds, which would dwarf a sub-millisecond tracked
+#: median and trip the 3x factor with no real regression behind it.
+MIN_GATED_SECONDS = 0.010
+
+
+def gated_cells(tracked_records):
+    """The tracked records this gate re-measures."""
+    cells = []
+    for record in tracked_records:
+        workload = record.get("workload")
+        point_ok = (
+            (workload == "permutation"
+             and record.get("n") == GATE_N and record.get("p") == GATE_P)
+            or (workload == "dispatch"
+                and (record.get("n"), record.get("p")) == DISPATCH_POINT)
+        )
+        if point_ok:
+            cells.append(record)
+    return cells
+
+
+def remeasure(record, *, rounds):
+    return median_seconds(
+        record["workload"], record["backend"], record.get("transport"),
+        record["n"], record["p"],
+        persistent=bool(record.get("persistent", False)), rounds=rounds,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tracked", default="benchmarks/BENCH_backends.json",
+                        help="tracked trajectory artifact to compare against")
+    parser.add_argument("--out", default="bench-fresh.json",
+                        help="where to write the fresh measurements (CI artifact)")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="fail when fresh > factor * tracked (default 3)")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    with open(args.tracked) as fh:
+        tracked = json.load(fh)
+    cells = gated_cells(tracked.get("records", []))
+    if not cells:
+        print(f"ERROR: {args.tracked} holds no permutation records at "
+              f"n={GATE_N}, p={GATE_P}; refresh it with bench_backends.py --json")
+        return 2
+
+    fresh_records = []
+    regressions = []
+    for record in cells:
+        seconds = remeasure(record, rounds=args.rounds)
+        fresh = dict(record, median_seconds=round(seconds, 6),
+                     tracked_median_seconds=record["median_seconds"])
+        fresh_records.append(fresh)
+        tracked_median = float(record["median_seconds"])
+        ratio = seconds / tracked_median if tracked_median > 0 else 1.0
+        variant = "-".join(
+            str(part) for part in (
+                record["workload"], record["backend"], record.get("transport"),
+                "persistent" if record.get("persistent") else "cold",
+            ) if part
+        )
+        gated = tracked_median >= MIN_GATED_SECONDS
+        regressed = gated and ratio > args.factor
+        verdict = ("REGRESSED" if regressed
+                   else "ok" if gated else "ok (below gate floor)")
+        print(f"{variant:48s} tracked {tracked_median * 1e3:9.2f}ms  "
+              f"fresh {seconds * 1e3:9.2f}ms  x{ratio:5.2f}  {verdict}")
+        if regressed:
+            regressions.append((variant, ratio))
+
+    with open(args.out, "w") as fh:
+        json.dump({
+            "suite": "bench_backends_regression_gate",
+            "factor": args.factor,
+            "rounds": args.rounds,
+            "records": fresh_records,
+        }, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(fresh_records)} fresh measurements to {args.out}")
+
+    if regressions:
+        print("PERF REGRESSION (>{}x): {}".format(
+            args.factor,
+            ", ".join(f"{name} x{ratio:.2f}" for name, ratio in regressions),
+        ))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
              "shared-memory segments, the default) or pickle (queue-borne "
              "buffers); rejected for other backends, seed-identical results",
     )
+    persistent_kwargs = dict(
+        action="store_true",
+        help="run on a standing worker pool (process backend only): the p "
+             "rank processes and their shared-memory rings are spawned once "
+             "and reused by every run; seed-identical results",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -51,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     permute.add_argument("--matrix-algorithm", choices=["root", "alg5", "alg6"], default="root")
     permute.add_argument("--backend", **backend_kwargs)
     permute.add_argument("--transport", **transport_kwargs)
+    permute.add_argument("--persistent", **persistent_kwargs)
+    permute.add_argument("--repeats", type=int, default=1,
+                         help="how many permutations to run on the same machine "
+                              "(with --persistent the spawn cost is paid once)")
     permute.add_argument("--head", type=int, default=10, help="how many output items to print")
 
     matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
@@ -67,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution backend for alg5/alg6/root (default thread); "
                              "rejected for the in-process algorithms")
     matrix.add_argument("--transport", **transport_kwargs)
+    matrix.add_argument("--persistent", **persistent_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -101,7 +112,6 @@ def _parse_sizes(text: str) -> list[int]:
 
 
 def _cmd_permute(args) -> int:
-    from repro.core.permutation import random_permutation
     from repro.core.blocks import BlockDistribution
     from repro.core.permutation import permute_distributed
     from repro.pro.machine import PROMachine
@@ -109,14 +119,24 @@ def _cmd_permute(args) -> int:
     machine = PROMachine(
         args.procs, seed=args.seed, backend=args.backend,
         backend_options={} if args.transport is None else {"transport": args.transport},
+        persistent=args.persistent,
         count_random_variates=True,
     )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
-    out_blocks, run = permute_distributed(blocks, machine=machine, matrix_algorithm=args.matrix_algorithm)
+    try:
+        repeats = max(int(args.repeats), 1)
+        for iteration in range(repeats):
+            out_blocks, run = permute_distributed(
+                blocks, machine=machine, matrix_algorithm=args.matrix_algorithm
+            )
+            label = (f"run {iteration + 1}/{repeats}: " if repeats > 1 else "")
+            print(f"{label}permuted {args.n} items on {args.procs} virtual processors "
+                  f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, "
+                  f"{args.backend}{' persistent' if args.persistent else ''} backend)")
+    finally:
+        machine.close()
     out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)
-    print(f"permuted {args.n} items on {args.procs} virtual processors "
-          f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, {args.backend} backend)")
     print(f"first {min(args.head, args.n)} output items: {out[:args.head].tolist()}")
     print(run.cost_report.summary_table())
     return 0
@@ -133,6 +153,7 @@ def _cmd_matrix(args) -> int:
         algorithm=args.algorithm if args.algorithm != "sequential" or parallel else None,
         backend=args.backend,  # the API rejects backend= for the in-process path
         transport=args.transport,  # likewise parallel-path only
+        persistent=args.persistent,  # likewise parallel-path only
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "
@@ -180,7 +201,9 @@ def _cmd_uniformity(args) -> int:
     from repro.stats.uniformity import chi_square_permutation_uniformity, position_occupancy_test
 
     machine = PROMachine(args.procs, seed=args.seed)
-    sampler = lambda: random_permutation_indices(args.n, machine=machine)
+    def sampler():
+        return random_permutation_indices(args.n, machine=machine)
+
     if args.n <= 8:
         result = chi_square_permutation_uniformity(sampler, args.n, args.samples)
         kind = f"exhaustive over {args.n}! permutations"

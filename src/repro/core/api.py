@@ -35,6 +35,7 @@ def sample_communication_matrix(
     algorithm: str | None = None,
     backend: str | object | None = None,
     transport: str | object | None = None,
+    persistent: bool = False,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -71,6 +72,10 @@ def sample_communication_matrix(
         Payload transport for the process backend (``"sharedmem"`` or
         ``"pickle"``); like ``backend``, parallel-path only and
         seed-invariant.
+    persistent:
+        Run the parallel path on a standing worker pool (process backend
+        only; see :class:`~repro.pro.backends.pool.WorkerPool`).  Like
+        ``backend``, parallel-path only and seed-invariant.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -107,6 +112,11 @@ def sample_communication_matrix(
                 "transport= only applies to parallel=True (the sequential path "
                 "runs in the calling process)"
             )
+        if persistent:
+            raise ValidationError(
+                "persistent= only applies to parallel=True (the sequential path "
+                "runs no worker pool)"
+            )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
@@ -125,6 +135,7 @@ def sample_communication_matrix(
         algorithm=parallel_algorithm,
         backend=backend,
         transport=transport,
+        persistent=persistent,
         seed=seed,
         method=method,
     )

@@ -303,6 +303,7 @@ def sample_matrix_parallel(
     algorithm: str = "alg6",
     backend: str | object | None = None,
     transport: str | object | None = None,
+    persistent: bool = False,
     seed=None,
     method: str = "auto",
     tile_strategy: str = "auto",
@@ -330,6 +331,14 @@ def sample_matrix_parallel(
         Payload transport of the process backend (``"sharedmem"`` or
         ``"pickle"``); rejected for backends without a transport option and
         for pre-configured machines.  Seed-invariant like ``backend``.
+    persistent:
+        Run on a standing worker fleet (the process backend's worker
+        pool).  With no pre-configured ``machine`` the fleet is private to
+        this call and released before returning, so the flag mainly
+        matters for determinism testing here; to actually amortise spawn
+        across calls, build the machine once (``PROMachine(...,
+        persistent=True)`` or :func:`repro.pro.backends.pool.pool`) and
+        pass it as ``machine``.  Seed-invariant like ``backend``.
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
@@ -351,8 +360,10 @@ def sample_matrix_parallel(
         raise ValidationError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(MATRIX_ALGORITHMS)}"
         )
+    owns_machine = machine is None
     machine = resolve_machine(
-        rows.size, machine=machine, backend=backend, seed=seed, transport=transport
+        rows.size, machine=machine, backend=backend, seed=seed,
+        transport=transport, persistent=persistent,
     )
     if machine.n_procs != rows.size:
         raise ValidationError(
@@ -369,6 +380,10 @@ def sample_matrix_parallel(
         )
     else:
         extra = {}
-    run = machine.run(program, rows, cols, method=method, **extra)
+    try:
+        run = machine.run(program, rows, cols, method=method, **extra)
+    finally:
+        if owns_machine and persistent:
+            machine.close()  # the fleet was private to this call
     matrix = np.vstack([np.asarray(row, dtype=np.int64) for row in run.results])
     return matrix, run

@@ -34,7 +34,6 @@ import numpy as np
 from repro.core.blocks import BlockDistribution
 from repro.core.parallel_matrix import MATRIX_ALGORITHMS
 from repro.pro.machine import PROMachine, ProcessorContext, RunResult, resolve_machine
-from repro.rng.streams import default_rng
 from repro.util.errors import ValidationError
 from repro.util.validation import (
     check_positive_int,
@@ -181,6 +180,7 @@ def permute_distributed(
     method: str = "auto",
     backend: str | object | None = None,
     transport: str | object | None = None,
+    persistent: bool = False,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -190,27 +190,36 @@ def permute_distributed(
     ``backend`` (``"thread"`` default; ``"process"`` runs one OS process per
     rank and yields bit-identical output for the same seed).  ``transport``
     selects the process backend's payload transport (``"sharedmem"`` or
-    ``"pickle"``; also seed-invariant).  The returned blocks follow
+    ``"pickle"``; also seed-invariant), and ``persistent`` runs the call on
+    a standing worker pool (private to this call when ``machine`` is
+    omitted -- pass a ``PROMachine(..., persistent=True)`` to amortise the
+    fleet across calls; also seed-invariant).  The returned blocks follow
     ``target_sizes`` (defaulting to the input sizes); the second element of
     the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
     """
     if len(blocks) == 0:
         raise ValidationError("permute_distributed needs at least one block")
+    owns_machine = machine is None
     machine = resolve_machine(
-        len(blocks), machine=machine, backend=backend, seed=seed, transport=transport
+        len(blocks), machine=machine, backend=backend, seed=seed,
+        transport=transport, persistent=persistent,
     )
     if machine.n_procs != len(blocks):
         raise ValidationError(
             f"machine has {machine.n_procs} processors but {len(blocks)} blocks were given"
         )
-    run = machine.run(
-        parallel_permutation_program,
-        [np.asarray(b) for b in blocks],
-        target_sizes,
-        matrix_algorithm=matrix_algorithm,
-        method=method,
-    )
+    try:
+        run = machine.run(
+            parallel_permutation_program,
+            [np.asarray(b) for b in blocks],
+            target_sizes,
+            matrix_algorithm=matrix_algorithm,
+            method=method,
+        )
+    finally:
+        if owns_machine and persistent:
+            machine.close()  # the fleet was private to this call
     return run.results, run
 
 
@@ -223,6 +232,7 @@ def random_permutation(
     method: str = "auto",
     backend: str | object | None = None,
     transport: str | object | None = None,
+    persistent: bool = False,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -264,6 +274,7 @@ def random_permutation(
         method=method,
         backend=backend,
         transport=transport,
+        persistent=persistent,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -278,6 +289,7 @@ def random_permutation_indices(
     matrix_algorithm: str = "root",
     backend: str | object | None = None,
     transport: str | object | None = None,
+    persistent: bool = False,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
@@ -295,5 +307,6 @@ def random_permutation_indices(
         matrix_algorithm=matrix_algorithm,
         backend=backend,
         transport=transport,
+        persistent=persistent,
         seed=seed,
     )

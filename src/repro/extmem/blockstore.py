@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -41,7 +41,6 @@ import numpy as np
 from repro.core import commmatrix
 from repro.extmem.blockstore import BlockStore, CachedBlockStore, MemoryBlockStore
 from repro.rng.streams import default_rng
-from repro.util.errors import ValidationError
 from repro.util.validation import check_positive_int
 
 __all__ = [

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.pro.cost import CostReport, MachineParameters
+from repro.pro.cost import CostReport
 from repro.util.errors import ValidationError
 from repro.util.tables import format_table
 from repro.util.validation import check_positive_int

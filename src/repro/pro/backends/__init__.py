@@ -28,7 +28,11 @@ The process backend additionally takes a *payload transport*
 :mod:`repro.pro.backends.transport`): the queue fabric carries only small
 control records while bulk NumPy payloads travel through shared-memory
 segments (zero-copy on the receive side) or, with ``"pickle"``, through
-the queue pipe as raw buffers.
+the queue pipe as raw buffers.  With ``persistent=True`` the backend runs
+on a standing :class:`~repro.pro.backends.pool.WorkerPool` of long-lived
+daemon ranks, amortising process spawn and ring setup across runs (the
+module-level :func:`~repro.pro.backends.pool.pool` context manager wraps
+the whole machine lifecycle).
 
 See :mod:`repro.pro.backends.registry` for the backend contract (fabric
 semantics, error-propagation rules, transport sub-contract) and for how to
@@ -57,8 +61,11 @@ from repro.pro.backends.transport import (
     resolve_transport,
 )
 from repro.pro.backends.sharedmem import SharedMemoryTransport
+from repro.pro.backends.pool import WorkerPool, pool
 
 __all__ = [
+    "WorkerPool",
+    "pool",
     "BackendCapabilities",
     "BackendSpec",
     "ExecutionBackend",

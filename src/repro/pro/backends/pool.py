@@ -1,0 +1,500 @@
+"""Persistent worker pool: amortise process spawn across machine runs.
+
+The plain :class:`~repro.pro.backends.process.ProcessBackend` forks ``p``
+fresh OS processes for every ``run()`` -- the dominant process-backend
+overhead on small problem sizes, paid again on every call.  The paper's
+coarse-grained model (like the PRO model it builds on) assumes the
+parallel machine is a *standing* resource whose setup is paid once; the
+:class:`WorkerPool` makes the backend behave that way:
+
+* ``p`` long-lived daemon ranks are spawned **once**, inheriting the
+  fabric (queues, barrier, shared-memory ring segments) that every later
+  run reuses;
+* each ``run()`` dispatches one lightweight *run-epoch record* per rank
+  -- the rank's freshly built random stream and cost recorder plus the
+  (pickled) program and arguments -- through a per-rank task queue;
+* results, cost records and variate counts flow back through a shared
+  result queue exactly as in the one-shot backend, so cost reports stay
+  backend-independent;
+* the per-rank RNG streams are still built *in the parent* for every run
+  (by the machine), so a fixed machine seed is bit-identical to the
+  non-persistent path -- and to every other backend and transport.
+
+Determinism contract
+--------------------
+``PROMachine(seed=s, persistent=True)`` run ``k`` times produces exactly
+the same ``k`` results as ``PROMachine(seed=s)`` (non-persistent) run
+``k`` times: persistence changes *where* the ranks live, never what they
+draw.  ``tests/integration/test_cross_backend_determinism.py`` and the
+pool lifecycle tests pin this.
+
+Serialisation
+-------------
+Programs and arguments cross the dispatch queue, so they must be
+picklable even on ``fork`` platforms (the one-shot backend inherits them
+through the fork instead).  All the library's SPMD programs are
+module-level functions and qualify; when ``cloudpickle`` is installed it
+is used as a fallback serialiser, which widens support to closures and
+lambdas.  An unserialisable program raises
+:class:`~repro.util.errors.BackendError` *before* anything is dispatched.
+
+Bulk arguments are encoded through the payload transport once **per
+rank** (each receiver consumes -- and for dedicated segments unlinks --
+its own copy), so a run whose arguments hold the whole input pays
+``p * sizeof(args)`` in movement where a fork inherits them for free.
+With the default ``sharedmem`` transport that is a memcpy per rank and
+the pool still beats cold spawn on the tracked benchmarks; with the
+in-band ``pickle`` transport large-argument workloads can be slower than
+cold fork -- prefer ``sharedmem``, or keep huge constant state out of
+the per-run arguments.  (Multi-consumer segments that would make the
+encode once-per-run are a roadmap item.)
+
+Crash semantics
+---------------
+A rank that raises, or a worker process that dies mid-run, **poisons**
+the pool: the current ``run()`` raises ``BackendError``, every later
+``run()`` raises immediately, and only ``close()`` (idempotent, also
+registered with ``atexit``) releases the resources.  Poisoning is
+deliberate -- after a broken barrier or an interrupted exchange the
+fabric may hold stray messages, and silently reusing it could corrupt a
+later run's results.  Build a fresh machine to continue.
+
+``close()`` drains and disposes undelivered records and retires every
+shared-memory ring segment, so a full lifecycle leaks no segments and no
+``resource_tracker`` warnings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import queue as _pyqueue
+import time
+from contextlib import contextmanager
+from typing import Callable, Sequence
+
+from repro.pro.backends.process import (
+    ProcessFabric,
+    _portable_exception,
+    _VariateCount,
+)
+from repro.pro.communicator import Communicator
+from repro.util.errors import BackendError, CommunicationError, ValidationError
+
+try:  # optional: widens program serialisation to closures/lambdas
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - exercised where cloudpickle is absent
+    _cloudpickle = None
+
+__all__ = ["WorkerPool", "pool"]
+
+
+def _dumps(obj) -> bytes:
+    """Serialise ``obj`` for the dispatch queue (cloudpickle fallback)."""
+    try:
+        return pickle.dumps(obj)
+    except Exception:
+        if _cloudpickle is None:
+            raise
+        return _cloudpickle.dumps(obj)
+
+
+def _pool_worker_main(rank: int, fabric: ProcessFabric, task_queue,
+                      result_queue) -> None:
+    """Main loop of one standing rank (module-level for spawn support).
+
+    Blocks on the task queue; ``None`` is the shutdown sentinel.  Each
+    task carries one run-epoch: receipts for ring slots the parent has
+    released, the rank's fresh context pieces and the pickled program.
+    A failing epoch aborts the shared barrier (siblings fail fast),
+    reports the failure and *exits* -- the pool is poisoned either way,
+    and a worker that kept looping on a broken barrier could only produce
+    corrupt runs.
+    """
+    while True:
+        raw = task_queue.get()
+        if raw is None:
+            return
+        task = pickle.loads(raw)
+        epoch, receipts, rng, cost, program_blob, args_record = task
+        # Scope this run's message tags to its epoch and drop anything a
+        # previous run parked but never consumed: stale messages must not
+        # satisfy a later run's receive (the one-shot backend gets this
+        # for free by discarding the whole fabric).
+        fabric.epoch = epoch
+        fabric._parked.clear()
+        for receipt in receipts:
+            try:
+                fabric.transport.ring_ack(receipt)
+            except Exception:  # pragma: no cover - acks are best effort
+                pass
+        try:
+            program = pickle.loads(program_blob)
+            # Bulk arguments travel out-of-band through the payload
+            # transport (the control record above stays small); with the
+            # shared-memory transport the worker gets zero-copy views.
+            args, kwargs = fabric.transport.decode(args_record)
+            # Rebuild the context around the standing fabric: communicator
+            # state (parked messages, collective counters) starts fresh
+            # every epoch, exactly as in the one-shot backend.
+            from repro.pro.machine import ProcessorContext
+
+            ctx = ProcessorContext(
+                rank=rank, n_procs=fabric.n_procs,
+                comm=Communicator(fabric, rank, cost), rng=rng, cost=cost,
+            )
+            value = program(ctx, *args, **kwargs)
+            variates = getattr(ctx.rng, "total_variates", None)
+            result_queue.put((
+                epoch, rank, True,
+                (fabric.encode_payload(rank, value), ctx.cost, variates),
+            ))
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            try:
+                fabric.abort()
+            except Exception:
+                pass
+            result_queue.put((epoch, rank, False, _portable_exception(exc)))
+            return
+
+
+class WorkerPool:
+    """``p`` standing daemon ranks sharing one persistent fabric.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of ranks; fixed for the pool's lifetime.
+    timeout:
+        Communication timeout of the standing fabric (seconds).
+    mp_context:
+        The ``multiprocessing`` context to spawn workers from (the
+        backend passes its configured start method's context).
+    transport:
+        Payload transport instance shared by the fabric and the result
+        path (see :mod:`repro.pro.backends.transport`).
+    shutdown_grace:
+        Seconds :meth:`close` waits for workers to exit before
+        terminating them.
+    """
+
+    def __init__(self, n_procs: int, *, timeout: float = 60.0, mp_context=None,
+                 transport=None, shutdown_grace: float = 5.0):
+        if n_procs < 1:
+            raise ValidationError(f"n_procs must be >= 1, got {n_procs}")
+        import multiprocessing
+
+        mp = mp_context if mp_context is not None else multiprocessing.get_context()
+        self.n_procs = int(n_procs)
+        self.timeout = float(timeout)
+        self.shutdown_grace = float(shutdown_grace)
+        self.fabric = ProcessFabric(n_procs, timeout=timeout, mp_context=mp,
+                                    transport=transport)
+        self._task_queues = [mp.Queue() for _ in range(n_procs)]
+        self._result_queue = mp.Queue()
+        self._epoch = 0
+        self._poison_reason: str | None = None
+        self._closed = False
+        #: Ring receipts released by parent-side result views since the
+        #: last dispatch (appended from weakref finalizers; popped -- an
+        #: atomic list operation -- when the next run ships them).
+        self._pending_receipts: list = []
+        self._workers = [
+            mp.Process(
+                target=_pool_worker_main,
+                args=(rank, self.fabric, self._task_queues[rank],
+                      self._result_queue),
+                name=f"pro-pool-{rank}",
+                daemon=True,
+            )
+            for rank in range(n_procs)
+        ]
+        for proc in self._workers:
+            proc.start()
+        atexit.register(self.close)
+
+    # -- state --------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def poisoned(self) -> bool:
+        """True after a failed run; every later run raises ``BackendError``."""
+        return self._poison_reason is not None
+
+    def _poison(self, reason: str) -> None:
+        if self._poison_reason is None:
+            self._poison_reason = reason
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the standing ranks (stable across runs; for tests)."""
+        return [proc.pid for proc in self._workers]
+
+    # -- running ------------------------------------------------------------
+    def run(self, contexts: Sequence, program: Callable, args: tuple,
+            kwargs: dict) -> list:
+        """Dispatch one run-epoch to the standing ranks and collect results."""
+        if self._closed:
+            raise BackendError("the worker pool is closed; build a new machine")
+        if self._poison_reason is not None:
+            raise BackendError(
+                f"the worker pool is poisoned ({self._poison_reason}); "
+                "build a new machine to continue"
+            )
+        n = len(contexts)
+        if n != self.n_procs:
+            raise BackendError(
+                f"this pool runs {self.n_procs} ranks but {n} contexts were given"
+            )
+        dead = [rank for rank, proc in enumerate(self._workers)
+                if not proc.is_alive()]
+        if dead:
+            self._poison(f"worker rank {dead[0]} died between runs")
+            raise BackendError(
+                f"the worker pool is poisoned ({self._poison_reason}); "
+                "build a new machine to continue"
+            )
+        self._epoch += 1
+        epoch = self._epoch
+        receipts = self._drain_receipts()
+        # Serialise the whole epoch *eagerly* in the parent: a task that
+        # cannot be pickled must raise here, as a clear BackendError,
+        # before any rank has been dispatched (handing raw objects to the
+        # queue would defer pickling to its feeder thread, turning the
+        # same failure into a hang).  Bulk array arguments travel
+        # out-of-band through the payload transport -- one encode per
+        # rank, since each receiver consumes (and for dedicated segments
+        # unlinks) its own copy -- so the queued control record stays
+        # small.
+        args_records: list = []
+        task_blobs: list = []
+        try:
+            program_blob = _dumps(program)
+            for rank in range(n):
+                ctx = contexts[rank]
+                args_record = self.fabric.transport.encode((args, kwargs))
+                args_records.append(args_record)
+                task_blobs.append(_dumps(
+                    (epoch, receipts.get(rank, []), ctx.rng, ctx.cost,
+                     program_blob, args_record)
+                ))
+        except Exception as exc:
+            for record in args_records:
+                try:
+                    self.fabric.transport.dispose(record)
+                except Exception:
+                    pass
+            # Nothing was dispatched: put the drained ring receipts back so
+            # the slots they name are still acked by a later, successful run
+            # (dropping them would pin ring space for the pool's lifetime).
+            for rank_receipts in receipts.values():
+                self._pending_receipts.extend(rank_receipts)
+            raise BackendError(
+                "persistent process runs dispatch the program and its "
+                "arguments through a queue, so they must be picklable "
+                "(module-level functions work; installing cloudpickle widens "
+                f"this to closures): {type(exc).__name__}: {exc}"
+            ) from exc
+        for rank in range(n):
+            self._task_queues[rank].put(task_blobs[rank])
+
+        outcomes = self._collect(epoch, n)
+        failed = []
+        for rank in range(n):
+            entry = outcomes.get(rank)
+            if entry is None:
+                proc = self._workers[rank]
+                state = ("exited (code {})".format(proc.exitcode)
+                         if not proc.is_alive() else "stopped responding")
+                failed.append((rank, CommunicationError(
+                    f"rank {rank} {state} without reporting a result"
+                )))
+            elif not entry[0]:
+                failed.append((rank, entry[1]))
+        if failed:
+            self._poison(f"rank {failed[0][0]} failed during run {epoch}")
+            for rank in range(n):  # undecoded successes may hold segments
+                entry = outcomes.get(rank)
+                if entry is not None and entry[0]:
+                    try:
+                        self.fabric.transport.dispose(entry[1][0])
+                    except Exception:
+                        pass
+            primary = next(
+                ((rank, exc) for rank, exc in failed
+                 if not isinstance(exc, CommunicationError)),
+                failed[0],
+            )
+            rank, exc = primary
+            if isinstance(exc, Exception):
+                raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+            raise exc  # KeyboardInterrupt and friends propagate unchanged
+
+        results: list = [None] * n
+        for rank in range(n):
+            encoded_value, cost, variates = outcomes[rank][1]
+            results[rank] = self.fabric.decode_payload(
+                encoded_value, ack=self._pending_receipts.append
+            )
+            contexts[rank].cost = cost
+            if variates is not None:
+                contexts[rank].rng = _VariateCount(variates)
+        return results
+
+    def _drain_receipts(self) -> dict:
+        """Pending ring receipts grouped by the owning rank."""
+        drained = []
+        while self._pending_receipts:
+            try:
+                drained.append(self._pending_receipts.pop())
+            except IndexError:  # pragma: no cover - finalizer race
+                break
+        if not drained or self.fabric._ring_names is None:
+            return {}
+        by_rank: dict = {}
+        ring_to_rank = {name: rank
+                        for rank, name in enumerate(self.fabric._ring_names)}
+        for receipt in drained:
+            rank = ring_to_rank.get(receipt[0]) if receipt else None
+            if rank is not None:
+                by_rank.setdefault(rank, []).append(receipt)
+        return by_rank
+
+    def _collect(self, epoch: int, n: int) -> dict:
+        """Gather this epoch's per-rank outcomes, watching worker liveness.
+
+        Like the one-shot backend there is no overall wall-clock deadline:
+        healthy ranks may compute for as long as they like, and blocked
+        communication times out inside the workers.  A worker that dies
+        without reporting breaks the run: the parent aborts the shared
+        barrier so surviving ranks fail fast, then gives them a short
+        grace period to report their (Communication)errors.
+        """
+        outcomes: dict = {}
+        aborted = False
+        deadline = None
+        while len(outcomes) < n:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            try:
+                e, rank, ok, payload = self._result_queue.get(timeout=0.2)
+            except _pyqueue.Empty:
+                if not aborted and not all(p.is_alive() for p in self._workers):
+                    aborted = True
+                    try:
+                        self.fabric.abort()
+                    except Exception:
+                        pass
+                    deadline = time.monotonic() + max(self.shutdown_grace, 1.0)
+                continue
+            except Exception:  # pragma: no cover - truncated pickle after a kill
+                continue
+            if e != epoch:
+                # Straggler from an earlier (failed) epoch: release any
+                # out-of-band resources and ignore it.
+                if ok:
+                    try:
+                        self.fabric.transport.dispose(payload[0])
+                    except Exception:
+                        pass
+                continue
+            outcomes[rank] = (ok, payload)
+        return outcomes
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release every fabric resource (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for proc in self._workers:
+            proc.join(timeout=self.shutdown_grace)
+        for proc in self._workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.shutdown_grace)
+        # Dispose undelivered tasks (a rank that died before picking its
+        # task up leaves it queued) and results (a poisoned pool may
+        # leave some): their out-of-band argument/value segments must be
+        # unlinked, not leaked.
+        for task_queue in self._task_queues:
+            while True:
+                try:
+                    raw = task_queue.get_nowait()
+                except Exception:
+                    break
+                if raw is None:
+                    continue
+                try:
+                    self.fabric.transport.dispose(pickle.loads(raw)[5])
+                except Exception:
+                    pass
+        while True:
+            try:
+                _e, _rank, ok, payload = self._result_queue.get_nowait()
+            except Exception:
+                break
+            if ok:
+                try:
+                    self.fabric.transport.dispose(payload[0])
+                except Exception:
+                    pass
+        # Retire the rings and unlink in-flight segments on the fabric.
+        self.fabric.shutdown(drain_timeout=0.25 if self.poisoned else 0.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = ("closed" if self._closed
+                 else "poisoned" if self.poisoned else "live")
+        return f"WorkerPool(n_procs={self.n_procs}, {state})"
+
+
+@contextmanager
+def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
+         **machine_options):
+    """Context manager: a persistent process machine, closed on exit.
+
+    ::
+
+        from repro.pro.backends.pool import pool
+
+        with pool(4, seed=42) as machine:
+            for _ in range(100):
+                machine.run(program)   # spawn paid once, not 100 times
+
+    Extra keyword arguments are forwarded to
+    :class:`~repro.pro.machine.PROMachine` (e.g. ``topology=...`` or
+    ``count_random_variates=True``); the backend is always the persistent
+    process backend.
+    """
+    from repro.pro.machine import PROMachine
+
+    backend_options = machine_options.pop("backend_options", {})
+    if transport is not None:
+        backend_options = {**backend_options, "transport": transport}
+    machine = PROMachine(
+        n_procs, seed=seed, backend="process", persistent=True,
+        backend_options=backend_options, timeout=timeout, **machine_options,
+    )
+    try:
+        yield machine
+    finally:
+        machine.close()

@@ -41,6 +41,14 @@ Design points:
 The backend prefers the ``fork`` start method (cheap, closures allowed);
 on platforms without it, ``spawn`` is used and programs/arguments must be
 picklable.
+
+With ``persistent=True`` the per-run spawn disappears entirely: ranks run
+on a standing :class:`~repro.pro.backends.pool.WorkerPool` of long-lived
+daemon processes that keep their fabric endpoints and shared-memory ring
+segments alive across runs, and successive programs are dispatched as
+lightweight run-epoch records (see :mod:`repro.pro.backends.pool` for the
+contract: picklable programs, poison-on-failure crash semantics, explicit
+or atexit shutdown).
 """
 
 from __future__ import annotations
@@ -74,6 +82,11 @@ _PICKLE_CODEC = PickleTransport()
 _encode_payload = _PICKLE_CODEC.encode
 _decode_payload = _PICKLE_CODEC.decode
 
+#: Control-channel tag of ring-slot acknowledgements.  Records carrying it
+#: are transport receipts, not messages: ``get`` applies them to the local
+#: sender rings and keeps waiting for the real message.
+_RING_ACK_TAG = "__ring-ack__"
+
 
 class ProcessFabric:
     """Message fabric over multiprocessing queues and a shared barrier.
@@ -106,6 +119,14 @@ class ProcessFabric:
         self._barrier = self._mp.Barrier(n_procs)
         # (src, tag) -> list of decoded payloads, private to the rank's process.
         self._parked: dict = {}
+        #: Run-epoch of a *standing* fabric (the worker pool's).  One-shot
+        #: fabrics leave it None and tags travel unscoped.  When set, every
+        #: message tag is wrapped as ``(epoch, tag)`` so a message that a
+        #: successful run sent but never consumed can never be delivered to
+        #: a later run's receive with the same tag -- it parks under its
+        #: own epoch until the worker clears stale state at the next
+        #: dispatch (see ``_pool_worker_main``).
+        self.epoch: int | None = None
         # One ring-segment name per sender rank (see the sharedmem
         # transport): a reusable bulk buffer that amortises segment
         # creation over every message the rank sends during this run.
@@ -115,6 +136,11 @@ class ProcessFabric:
             ring_aware = "ring" in inspect.signature(self.transport.encode).parameters
         except (TypeError, ValueError):  # pragma: no cover - exotic callables
             ring_aware = False
+        try:
+            ack_aware = "ack" in inspect.signature(self.transport.decode).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            ack_aware = False
+        self._ack_aware = ack_aware and hasattr(self.transport, "ring_ack")
         token = uuid.uuid4().hex[:12]
         self._ring_names = (
             [f"pro{token}r{src}" for src in range(n_procs)] if ring_aware else None
@@ -126,9 +152,49 @@ class ProcessFabric:
             return self.transport.encode(payload, ring=self._ring_names[src])
         return self.transport.encode(payload)
 
+    def _ack_sink(self, src: int):
+        """Callable routing a decode acknowledgement back to rank ``src``.
+
+        The receipt travels as an in-band control record through the
+        sender's inbox; the sender applies it to its ring the next time it
+        reads the inbox.  Fired from ``weakref`` finalizers, possibly
+        during interpreter shutdown, so failures are swallowed.
+        """
+        inbox = self._inboxes[src]
+
+        def _ack(receipt) -> None:
+            try:
+                inbox.put((-1, _RING_ACK_TAG, receipt))
+            except Exception:  # pragma: no cover - queue already closed
+                pass
+
+        return _ack
+
+    def decode_payload(self, record, *, src: int | None = None, ack=None):
+        """Decode ``record``, wiring up slot acknowledgements when possible.
+
+        ``src`` routes acks back through the control channel (messages read
+        by ``get``); ``ack`` passes an explicit callback instead (results
+        decoded in the pool's parent, which batches receipts into the next
+        dispatch).  With neither -- or an ack-unaware transport -- slots
+        simply stay allocated until the ring is retired.
+        """
+        if self._ack_aware:
+            if ack is None and src is not None and src >= 0:
+                ack = self._ack_sink(src)
+            if ack is not None:
+                return self.transport.decode(record, ack=ack)
+        return self.transport.decode(record)
+
+    def _scoped(self, tag):
+        """Wrap ``tag`` with the current run-epoch on standing fabrics."""
+        return tag if self.epoch is None else (self.epoch, tag)
+
     def put(self, src: int, dst: int, tag, payload) -> None:
         """Deposit a message; never blocks (queues are unbounded)."""
-        self._inboxes[dst].put((src, tag, self.encode_payload(src, payload)))
+        self._inboxes[dst].put(
+            (src, self._scoped(tag), self.encode_payload(src, payload))
+        )
 
     def get(self, src: int, dst: int, tag, pending: list):
         """Fetch the next message from ``src`` to ``dst`` carrying ``tag``.
@@ -138,6 +204,7 @@ class ProcessFabric:
         internally, keyed by source *and* tag, because one inbox serves all
         sources.
         """
+        tag = self._scoped(tag)
         for idx, (msg_tag, payload) in enumerate(pending):
             if msg_tag == tag:
                 pending.pop(idx)
@@ -160,7 +227,15 @@ class ProcessFabric:
                     f"rank {dst} timed out after {self.timeout}s waiting for a message "
                     f"from rank {src} with tag {tag!r}"
                 ) from None
-            payload = self.transport.decode(record)
+            if msg_tag == _RING_ACK_TAG:
+                # A receiver finished with one of our ring slots: reclaim
+                # it and keep waiting for the real message.
+                try:
+                    self.transport.ring_ack(record)
+                except Exception:  # pragma: no cover - acks are best effort
+                    pass
+                continue
+            payload = self.decode_payload(record, src=msg_src)
             if msg_src == src and msg_tag == tag:
                 return payload
             self._parked.setdefault((msg_src, msg_tag), []).append(payload)
@@ -273,6 +348,18 @@ class ProcessBackend(ExecutionBackend):
         fallback to the pickle codec where shared memory is unavailable)
         or ``"pickle"`` (everything through the queue pipe).  Results are
         bit-identical across transports for a fixed machine seed.
+    persistent:
+        When True, ranks run on a standing :class:`~repro.pro.backends.
+        pool.WorkerPool` of long-lived daemon processes instead of being
+        spawned per run: the pool (one per ``n_procs``) is created on the
+        first run and reused by every later run, amortising process spawn
+        and shared-memory ring setup.  Programs and arguments must then be
+        picklable even under ``fork`` (they travel through the dispatch
+        queue; ``cloudpickle`` widens this to closures when installed).
+        Results stay bit-identical to the non-persistent path for a fixed
+        machine seed.  Call :meth:`close` (or let the pool's ``atexit``
+        hook run) to release the workers; a failed run *poisons* the pool
+        and subsequent runs raise :class:`~repro.util.errors.BackendError`.
     """
 
     name = "process"
@@ -284,7 +371,8 @@ class ProcessBackend(ExecutionBackend):
     )
 
     def __init__(self, *, start_method: str | None = None, shutdown_grace: float = 5.0,
-                 transport: str | PayloadTransport | None = "sharedmem"):
+                 transport: str | PayloadTransport | None = "sharedmem",
+                 persistent: bool = False):
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
@@ -296,10 +384,33 @@ class ProcessBackend(ExecutionBackend):
         self.start_method = start_method
         self.shutdown_grace = float(shutdown_grace)
         self.transport = resolve_transport(transport)
+        self.persistent = bool(persistent)
         self._mp = multiprocessing.get_context(start_method)
+        self._pools: dict = {}  # n_procs -> WorkerPool
+
+    def _pool(self, n_procs: int, *, timeout: float):
+        """The standing pool for ``n_procs`` ranks, created on first use."""
+        from repro.pro.backends.pool import WorkerPool
+
+        pool = self._pools.get(n_procs)
+        if pool is None or pool.closed:
+            pool = WorkerPool(
+                n_procs, timeout=timeout, mp_context=self._mp,
+                transport=self.transport, shutdown_grace=self.shutdown_grace,
+            )
+            self._pools[n_procs] = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down every standing worker pool (idempotent)."""
+        for pool in list(self._pools.values()):
+            pool.close()
+        self._pools.clear()
 
     def create_fabric(self, n_procs: int, *, timeout: float) -> ProcessFabric:
-        """Build the multiprocess message fabric for one run."""
+        """Build (or, when persistent, reuse) the multiprocess message fabric."""
+        if self.persistent:
+            return self._pool(n_procs, timeout=timeout).fabric
         return ProcessFabric(n_procs, timeout=timeout, mp_context=self._mp,
                              transport=self.transport)
 
@@ -316,6 +427,15 @@ class ProcessBackend(ExecutionBackend):
                 "create the machine with backend='process' instead of passing "
                 "contexts built for another backend"
             )
+        if self.persistent:
+            pool = self._pools.get(n)
+            if pool is None or pool.fabric is not fabric:
+                raise BackendError(
+                    "persistent runs need contexts wired to the pool's standing "
+                    "fabric; build them through the machine (create_fabric) "
+                    "rather than reusing contexts from another run"
+                )
+            return pool.run(contexts, program, args, kwargs)
         result_queue = self._mp.Queue()
         workers = [
             self._mp.Process(

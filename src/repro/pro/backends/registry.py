@@ -62,6 +62,23 @@ backend should accept a ``transport=`` option (a name resolved through
   handed to ``transport.dispose`` during fabric shutdown so out-of-band
   resources are released (see ``ProcessFabric.shutdown``).
 
+Persistence sub-contract (standing worker fleets)
+-------------------------------------------------
+A backend that can amortise its rank start-up across runs should accept a
+``persistent=True`` factory option (the machine's ``persistent=True``
+kwarg forwards it) and honour three rules, modelled by the process
+backend's :class:`~repro.pro.backends.pool.WorkerPool`:
+
+* per-rank RNG streams are still built by the machine in the parent for
+  *every* run, so a fixed seed stays bit-identical between persistent and
+  one-shot execution;
+* a failed run poisons the standing fleet (subsequent runs raise
+  :class:`~repro.util.errors.BackendError`) rather than silently reusing
+  communication state that may hold stray messages;
+* the backend exposes an idempotent ``close()`` (wired to
+  ``PROMachine.close`` and an ``atexit`` hook) that releases every
+  out-of-band resource the fleet held.
+
 Registering a backend
 ---------------------
 ::

@@ -126,7 +126,7 @@ class _SegmentLease:
 
 
 # ----------------------------------------------------------------------------
-# Ring segments: one reusable bump-allocated buffer per sender and run
+# Ring segments: one reusable circular buffer per sender, acked by receivers
 # ----------------------------------------------------------------------------
 # Creating, mapping and unlinking a fresh segment costs a handful of
 # syscalls plus the kernel zeroing every page -- fine for megabyte
@@ -135,12 +135,23 @@ class _SegmentLease:
 # the fabric names one buffer per sender rank, the sender creates it on
 # first use and bump-allocates message slots from it, and every receiver
 # attaches it once and caches the mapping, so the marginal cost of a
-# message drops to a single memcpy plus a tiny queue record.  There is no
-# wrap-around (receivers keep zero-copy views, so slots can never be
-# reused within a run); a run that outgrows the ring falls back to
-# dedicated per-message segments, and the fabric retires the rings at
-# shutdown (parent side), after which mappings live on only as long as
-# undead views need them.
+# message drops to a single memcpy plus a tiny queue record.
+#
+# The ring *wraps around*: receivers acknowledge a slot once every
+# zero-copy view into it has been garbage collected (the ack receipt
+# travels back to the sender on the fabric's control channel), and the
+# allocator reclaims acked space, so long and repeated runs keep cycling
+# through the same buffer instead of degrading to dedicated per-message
+# segments.  The allocator works in *virtual* byte offsets that increase
+# monotonically; ``head`` is the next write position, ``tail`` the oldest
+# unacknowledged byte, and a slot is live while ``head - tail`` stays
+# within the capacity.  Slots are physically contiguous: an allocation
+# that would straddle the physical end of the buffer skips ahead to the
+# next wrap boundary and the padding is reclaimed together with the slot.
+# A message that cannot be placed (outstanding slots still cover the ring)
+# falls back to a dedicated per-message segment, and the fabric retires
+# the rings at shutdown (parent side), after which mappings live on only
+# as long as undead views need them.
 
 #: (pid, name) -> _SenderRing, private to the creating process.
 _SENDER_RINGS: dict = {}
@@ -149,23 +160,72 @@ _ATTACHED_RINGS: dict = {}
 
 
 class _SenderRing:
-    """The sender side of one ring segment: a bump allocator."""
+    """The sender side of one ring segment: a circular slot allocator."""
 
-    __slots__ = ("shm", "cursor", "capacity")
+    __slots__ = ("shm", "capacity", "head", "tail", "_slots",
+                 "reclaimed_bytes", "wraps")
 
     def __init__(self, shm):
         self.shm = shm
-        self.cursor = 0
-        self.capacity = shm.size
+        # Physical offsets repeat modulo the capacity; keep it slot-aligned
+        # so wrapped slots stay aligned too.
+        if shm.size >= _ALIGN:
+            self.capacity = shm.size - shm.size % _ALIGN
+        else:
+            self.capacity = shm.size
+        self.head = 0  # virtual offset of the next write
+        self.tail = 0  # virtual offset of the oldest unacked byte
+        # Outstanding slots in allocation order: [virtual_end, acked].
+        self._slots: list = []
+        self.reclaimed_bytes = 0  # observability / tests
+        self.wraps = 0
 
-    def allocate(self, nbytes: int) -> int | None:
-        """Reserve ``nbytes`` (aligned); None when the ring is full."""
-        start = self.cursor
-        end = start + (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
-        if end > self.capacity:
+    def allocate(self, nbytes: int) -> tuple[int, int] | None:
+        """Reserve ``nbytes`` contiguously; return (physical_start, receipt).
+
+        The receipt is the slot's virtual end offset -- what the receiver
+        echoes back through :meth:`ack` when its views are gone.  Returns
+        ``None`` when the unacknowledged slots leave no room.
+        """
+        aligned = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        if aligned > self.capacity:
             return None
-        self.cursor = end
-        return start
+        start = self.head
+        position = start % self.capacity
+        wrapped = position + aligned > self.capacity
+        if wrapped:
+            # The slot would straddle the physical end: skip to the wrap
+            # boundary.  On an empty ring the skipped bytes are free to
+            # reclaim immediately; otherwise the padding belongs to this
+            # slot and is reclaimed with it.
+            padded = start + (self.capacity - position)
+            if self.tail == start:
+                self.tail = padded
+            start = padded
+            position = 0
+        end = start + aligned
+        if end - self.tail > self.capacity:
+            return None
+        if wrapped:
+            self.wraps += 1
+        self.head = end
+        self._slots.append([end, False])
+        return position, end
+
+    def ack(self, receipt: int) -> None:
+        """Mark the slot ending at virtual offset ``receipt`` as consumed."""
+        for slot in self._slots:
+            if slot[0] == receipt:
+                slot[1] = True
+                break
+        else:
+            return  # unknown / duplicate receipt: ignore
+        # Reclaim the contiguous acked prefix (slots free strictly in
+        # allocation order, like a ring buffer's tail).
+        while self._slots and self._slots[0][1]:
+            end = self._slots.pop(0)[0]
+            self.reclaimed_bytes += end - self.tail
+            self.tail = end
 
 
 class _RingAttachment:
@@ -213,6 +273,28 @@ def _sender_ring(name: str, ring_bytes: int) -> "_SenderRing | None":
     return ring
 
 
+def _slot_release(ack, name: str, receipt: int, n_views: int):
+    """Build the finalizer that acks one ring slot once its views are dead.
+
+    Every zero-copy view of the slot's message registers the returned
+    callable with ``weakref.finalize``; the last view to be garbage
+    collected fires ``ack((name, receipt))``, which the fabric routes back
+    to the sending process.  The callable must not reference the views
+    themselves (that would keep them alive forever).
+    """
+    remaining = [int(n_views)]
+
+    def release() -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            try:
+                ack((name, receipt))
+            except Exception:  # pragma: no cover - interpreter shutdown races
+                pass
+
+    return release
+
+
 def _attached_ring(name: str) -> "_RingAttachment | None":
     """This process's cached attachment of the ring called ``name``."""
     key = (os.getpid(), name)
@@ -245,8 +327,13 @@ class SharedMemoryTransport(PayloadTransport):
     ring_bytes:
         Capacity of one per-sender ring segment (default 32 MiB; the pages
         are allocated lazily by the kernel, so an oversized ring costs
-        only what a run actually ships).  Messages that do not fit in the
-        remaining ring space use a dedicated per-message segment instead.
+        only what a run actually ships).  The ring wraps around: receiver
+        acknowledgements (flowing back on the fabric's control channel
+        once the zero-copy views of a slot are garbage collected) let the
+        allocator reclaim consumed slots, so sustained traffic cycles
+        through the buffer indefinitely.  A message that cannot be placed
+        -- outstanding unacknowledged slots still cover the ring -- uses a
+        dedicated per-message segment instead.
     """
 
     name = "sharedmem"
@@ -293,15 +380,17 @@ class SharedMemoryTransport(PayloadTransport):
         if ring is not None:
             sender = _sender_ring(ring, self.ring_bytes)
             if sender is not None:
-                base = sender.allocate(cursor)
-                if base is not None:
+                alloc = sender.allocate(cursor)
+                if alloc is not None:
+                    base, receipt = alloc
                     for slab, offset in zip(slabs, offsets):
                         dst = np.ndarray(slab.shape, dtype=slab.dtype,
                                          buffer=sender.shm.buf, offset=base + offset)
                         dst[...] = slab
                         del dst
                     return (SHMRING, ring,
-                            tuple(base + offset for offset in offsets), inner)
+                            tuple(base + offset for offset in offsets),
+                            receipt, inner)
         try:
             seg = _shm_module.SharedMemory(create=True, size=max(cursor, 1))
         except Exception:
@@ -325,9 +414,9 @@ class SharedMemoryTransport(PayloadTransport):
         return (SHMSEG, name, tuple(offsets), inner)
 
     # -- decoding -----------------------------------------------------------
-    def decode(self, record):
+    def decode(self, record, *, ack=None):
         if record[0] == SHMRING:
-            return self._decode_ring(record)
+            return self._decode_ring(record, ack)
         if record[0] != SHMSEG:
             return walk_decode(record)
         _, name, offsets, inner = record
@@ -353,23 +442,45 @@ class SharedMemoryTransport(PayloadTransport):
 
         return walk_decode(inner, resolve)
 
-    def _decode_ring(self, record):
-        _, name, offsets, inner = record
+    def _decode_ring(self, record, ack=None):
+        _, name, offsets, receipt, inner = record
         attachment = _attached_ring(name)
         if attachment is None:
             raise CommunicationError(
                 f"ring segment {name!r} vanished before its message was "
                 "received (the run was probably aborted)"
             )
+        release = None if ack is None else _slot_release(ack, name, receipt,
+                                                         len(offsets))
 
         def resolve(ref):
             _, index, dtype, shape = ref
             view = np.ndarray(shape, dtype=dtype, buffer=attachment.shm.buf,
                               offset=offsets[index])
             attachment.watch(view)
+            if release is not None:
+                weakref.finalize(view, release)
             return view
 
         return walk_decode(inner, resolve)
+
+    # -- acknowledgements ----------------------------------------------------
+    def ring_ack(self, receipt) -> None:
+        """Apply a receiver acknowledgement to this process's sender ring.
+
+        ``receipt`` is the ``(ring name, virtual slot end)`` pair the
+        receiver's ``decode`` handed to its ``ack`` callback; the named
+        slot (and any contiguous acked predecessors) becomes reusable.
+        Unknown receipts -- duplicate delivery, a ring that was already
+        retired -- are ignored.
+        """
+        try:
+            name, end = receipt
+        except (TypeError, ValueError):
+            return
+        ring = _SENDER_RINGS.get((os.getpid(), name))
+        if ring is not None:
+            ring.ack(end)
 
     # -- disposal -----------------------------------------------------------
     def dispose(self, record) -> None:

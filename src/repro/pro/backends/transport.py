@@ -35,10 +35,22 @@ A transport is any object with
     is an optional fabric-provided name of a reusable per-sender buffer
     (see the shared-memory transport's ring segments); transports may
     ignore it.
-``decode(record) -> payload``
+``decode(record, *, ack=None) -> payload``
     Inverse of ``encode``; called exactly once per delivered record in the
     receiving process.  Arrays may be returned as views into transport
     owned buffers provided the buffer outlives every returned view.
+    ``ack`` is an optional fabric-provided callable; a transport that
+    allocated reclaimable out-of-band space for the record (a ring slot)
+    calls ``ack(receipt)`` once the receiver is done with the payload (all
+    zero-copy views garbage collected), and the fabric routes the receipt
+    back to the sending process, which applies it via :meth:`ring_ack`.
+    Transports may ignore ``ack``; fabrics only pass it to transports
+    whose ``decode`` signature accepts it.
+``ring_ack(receipt) -> None`` (optional)
+    Apply a receiver acknowledgement in the *sending* process: the space
+    named by ``receipt`` may be reused for future messages.  This is what
+    lets the shared-memory ring segments wrap around instead of degrading
+    to per-message segments on long runs.
 ``dispose(record) -> None``
     Release any out-of-band resources (e.g. shared-memory segments) held
     by a record that will *never* be decoded -- the fabric calls this when
@@ -81,7 +93,8 @@ SHMREF = "shmref"
 #: (created per message, unlinked by the receiver on decode).
 SHMSEG = "shmseg"
 #: Marker of a record whose bulk arrays live in a per-sender ring segment
-#: (created once per fabric run, retired by the fabric at shutdown).
+#: (created once per fabric, reclaimed slot-by-slot through receiver
+#: acknowledgements, retired by the fabric at shutdown).
 SHMRING = "shmring"
 
 
@@ -141,13 +154,21 @@ class PayloadTransport:
         """Turn ``payload`` into a picklable control record."""
         raise NotImplementedError
 
-    def decode(self, record):
-        """Rebuild the payload of a delivered control record."""
+    def decode(self, record, *, ack=None):
+        """Rebuild the payload of a delivered control record.
+
+        ``ack``, when given, is called with a receipt once the receiver has
+        released the record's reclaimable out-of-band space (if any).
+        """
         raise NotImplementedError
 
     def dispose(self, record) -> None:
         """Release out-of-band resources of a record that won't be decoded."""
         # In-band transports hold nothing outside the record itself.
+
+    def ring_ack(self, receipt) -> None:
+        """Apply a receiver acknowledgement in the sending process."""
+        # In-band transports have no reclaimable out-of-band space.
 
     def retire_rings(self, names) -> None:
         """Release the named per-sender ring buffers (end of a fabric run)."""
@@ -167,7 +188,7 @@ class PickleTransport(PayloadTransport):
     def encode(self, payload, *, ring: str | None = None):
         return walk_encode(payload, lambda arr: None)
 
-    def decode(self, record):
+    def decode(self, record, *, ack=None):
         return walk_decode(record)
 
 

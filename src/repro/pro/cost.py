@@ -22,7 +22,7 @@ this reproduction does not have.  The cost layer therefore plays two roles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import numpy as np

@@ -28,7 +28,7 @@ Example
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -36,7 +36,7 @@ import numpy as np
 from repro.pro.backends.registry import resolve_backend
 from repro.pro.communicator import Communicator, MessageFabric
 from repro.pro.cost import CostRecorder, CostReport, MachineParameters
-from repro.pro.topology import FullyConnected, Topology, topology_from_name
+from repro.pro.topology import Topology, topology_from_name
 from repro.rng.counting import CountingRNG
 from repro.rng.streams import StreamFactory
 from repro.util.errors import ValidationError
@@ -127,6 +127,20 @@ class PROMachine:
     timeout:
         Seconds a blocking receive or barrier waits before declaring a
         deadlock.
+    persistent:
+        When True the machine runs on a *standing* worker fleet instead of
+        paying backend start-up per run -- currently supported by the
+        process backend, whose :class:`~repro.pro.backends.pool.WorkerPool`
+        keeps ``p`` daemon ranks (and their shared-memory rings) alive
+        across ``run()`` calls.  Results stay bit-identical to the
+        non-persistent machine for a fixed seed, because the per-rank
+        streams are still derived in the parent on every run.  Requires a
+        backend *name* (the flag is forwarded as the factory option
+        ``persistent=True``; backends without the option reject it), and
+        programs/arguments must be picklable.  Call :meth:`close` (or use
+        the machine as a context manager, or the module-level
+        :func:`repro.pro.backends.pool.pool` helper) to release the
+        workers; they are also reaped by an ``atexit`` hook.
     """
 
     def __init__(
@@ -139,11 +153,20 @@ class PROMachine:
         topology: str | Topology = "fully-connected",
         count_random_variates: bool = False,
         timeout: float = 60.0,
+        persistent: bool = False,
     ):
         self.n_procs = check_positive_int(n_procs, "n_procs")
         self._stream_factory = StreamFactory(seed)
         self.count_random_variates = bool(count_random_variates)
         self.timeout = float(timeout)
+        if persistent:
+            if not isinstance(backend, str):
+                raise ValidationError(
+                    "persistent=True only applies when the backend is given by "
+                    "name; configure a backend instance with persistent=True "
+                    "directly instead"
+                )
+            backend_options = {**(backend_options or {}), "persistent": True}
 
         if isinstance(topology, Topology):
             if topology.n_nodes != self.n_procs:
@@ -213,6 +236,33 @@ class PROMachine:
             n_procs=self.n_procs,
         )
 
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def persistent(self) -> bool:
+        """True when the machine's backend keeps a standing worker fleet."""
+        return bool(getattr(self.backend, "persistent", False))
+
+    def close(self) -> None:
+        """Release backend resources held across runs (idempotent).
+
+        Only persistent backends hold any (the process backend's standing
+        worker pools); for every other configuration this is a no-op.
+        Running a persistent machine again after ``close`` simply spawns a
+        fresh fleet -- but a *poisoned* fleet (a worker crashed) is not
+        replaced: every later run raises
+        :class:`~repro.util.errors.BackendError` until the machine is
+        rebuilt.
+        """
+        closer = getattr(self.backend, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "PROMachine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- convenience --------------------------------------------------------------
     def map_blocks(self, func: Callable, blocks: Sequence[np.ndarray]) -> list:
         """Apply ``func(ctx, block)`` with block ``i`` on rank ``i`` (helper for examples).
@@ -243,6 +293,7 @@ def resolve_machine(
     backend: str | object | None = None,
     seed=None,
     transport: str | object | None = None,
+    persistent: bool = False,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -252,14 +303,17 @@ def resolve_machine(
     pre-configured machine and a backend name is rejected because the
     machine already fixes its backend.  ``transport`` selects the payload
     transport of backends that take one (the process backend:
-    ``"sharedmem"`` or ``"pickle"``); it is rejected for backends without
-    a transport option and for pre-configured machines.
+    ``"sharedmem"`` or ``"pickle"``) and ``persistent`` requests a
+    standing worker fleet (the process backend's worker pool); both are
+    rejected for backends without the option and for pre-configured
+    machines.  Drivers that build a persistent machine themselves are
+    expected to close it when done (they own its worker fleet).
     """
     if machine is None:
         options = {} if transport is None else {"transport": transport}
         return PROMachine(
             n_procs, seed=seed, backend="thread" if backend is None else backend,
-            backend_options=options,
+            backend_options=options, persistent=persistent,
         )
     if backend is not None:
         raise ValidationError(
@@ -269,5 +323,10 @@ def resolve_machine(
         raise ValidationError(
             "pass either a pre-configured machine or a transport name, not both "
             "(the machine's backend already fixes its transport)"
+        )
+    if persistent:
+        raise ValidationError(
+            "pass either a pre-configured machine or persistent=True, not both "
+            "(build the machine with persistent=True instead)"
         )
     return machine

@@ -15,8 +15,6 @@ reproducible even when the set of participating processors changes.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 import numpy as np
 
 from repro.util.errors import ValidationError

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats as scipy_stats
 
-from repro.core import hypergeometric, multivariate
+from repro.core import hypergeometric
 from repro.stats.uniformity import GoodnessOfFitResult
 from repro.util.errors import ValidationError
 from repro.util.validation import check_positive_int, check_vector_of_nonnegative_ints

@@ -9,6 +9,9 @@ The utilities are intentionally small and dependency free (NumPy only):
   benchmark harness and the examples.
 * :mod:`repro.util.hashing` -- order-sensitive hashing of integer sequences,
   used to fingerprint permutations in tests and statistics.
+* :mod:`repro.util.timeouts` -- environment-scaled timeouts
+  (``REPRO_TEST_TIMEOUT_FACTOR``) so slow CI runners can stretch the
+  test-suite's communication deadlines without editing the tests.
 """
 
 from repro.util.errors import (
@@ -27,6 +30,7 @@ from repro.util.validation import (
 )
 from repro.util.tables import format_table, format_markdown_table
 from repro.util.hashing import permutation_fingerprint, lehmer_rank, lehmer_unrank
+from repro.util.timeouts import scale_timeout, timeout_factor
 
 __all__ = [
     "ReproError",
@@ -44,4 +48,6 @@ __all__ = [
     "permutation_fingerprint",
     "lehmer_rank",
     "lehmer_unrank",
+    "scale_timeout",
+    "timeout_factor",
 ]

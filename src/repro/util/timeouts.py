@@ -1,0 +1,37 @@
+"""Environment-scaled timeouts for tests and tooling.
+
+Communication timeouts that are perfectly generous on a developer laptop
+(tenths of a second) routinely fire on oversubscribed CI runners, where a
+forked rank can take longer than that just to get scheduled.  Rather than
+inflating every timeout for everybody, the test-suite derives its deadline
+values through :func:`scale_timeout`, and slow environments opt in by
+setting ``REPRO_TEST_TIMEOUT_FACTOR`` (the CI workflow sets it to 3).
+
+The factor scales *both* sides of a timeout test -- the deadline and the
+work that is meant to out-wait it -- so the relative timing invariants of
+the tests are preserved.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scale_timeout", "timeout_factor"]
+
+#: Environment variable holding the multiplicative timeout factor.
+ENV_VAR = "REPRO_TEST_TIMEOUT_FACTOR"
+
+
+def timeout_factor() -> float:
+    """The current timeout multiplier (>= 1.0; malformed values mean 1.0)."""
+    raw = os.environ.get(ENV_VAR, "")
+    try:
+        factor = float(raw)
+    except (TypeError, ValueError):
+        return 1.0
+    return factor if factor >= 1.0 else 1.0
+
+
+def scale_timeout(seconds: float) -> float:
+    """Scale ``seconds`` by ``REPRO_TEST_TIMEOUT_FACTOR`` (default 1)."""
+    return float(seconds) * timeout_factor()

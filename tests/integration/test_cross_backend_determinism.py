@@ -4,8 +4,16 @@ The per-rank random streams are derived in the parent machine and shipped to
 wherever the rank executes, so the inline, thread and process backends must
 produce exactly the same matrices and permutations for a fixed seed.  These
 tests pin that contract (it is what makes the process backend a drop-in
-replacement rather than a different sampler).
+replacement rather than a different sampler) across every payload transport
+(``pickle`` / ``sharedmem``) and both persistence modes of the process
+backend (one-shot spawn vs the standing worker pool).
+
+The CI determinism matrix runs this module once per OS runner and
+persistence mode; set ``REPRO_PERSISTENT=0`` or ``1`` to narrow the
+process-backend cells to one mode (unset runs both).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -19,6 +27,17 @@ from repro.util.errors import ValidationError
 ALGORITHMS = ["alg5", "alg6", "root"]
 MULTI_RANK_BACKENDS = ["thread", "process"]
 ALL_BACKENDS = ["inline", "thread", "process"]
+
+
+def _persistent_modes() -> list:
+    forced = os.environ.get("REPRO_PERSISTENT")
+    if forced is None or forced == "":
+        return [False, True]
+    return [forced not in ("0", "false", "no")]
+
+
+#: Process-backend persistence modes exercised by this run (see module doc).
+PERSISTENT_MODES = _persistent_modes()
 
 
 class TestMatrixDeterminism:
@@ -145,6 +164,84 @@ class TestTransportDeterminism:
     def test_transport_rejected_on_sequential_path(self):
         with pytest.raises(ValidationError, match="parallel"):
             sample_communication_matrix([4, 4], transport="sharedmem")
+
+
+class TestPersistentDeterminism:
+    """Standing worker pool vs one-shot spawn: bit-identical for a fixed seed.
+
+    Persistence only changes where the ranks live and how runs reach them
+    (dispatch queue vs fork-per-run); the per-rank streams are still built
+    in the parent for every run, so every {inline, thread, process} x
+    {pickle, sharedmem} x {persistent, cold} combination must agree.
+    """
+
+    TRANSPORTS = ["pickle", "sharedmem"]
+
+    @pytest.mark.parametrize("persistent", PERSISTENT_MODES,
+                             ids=lambda v: "persistent" if v else "cold")
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_matrix_identical_across_persistence(self, transport, persistent):
+        row_sums = np.arange(1, 5) * 6
+        reference, _ = sample_matrix_parallel(row_sums, backend="thread", seed=321)
+        matrix, _ = sample_matrix_parallel(
+            row_sums, backend="process", transport=transport,
+            persistent=persistent, seed=321,
+        )
+        assert np.array_equal(reference, matrix), (transport, persistent)
+
+    @pytest.mark.parametrize("persistent", PERSISTENT_MODES)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("matrix_algorithm", ALGORITHMS)
+    def test_permutation_identical_across_persistence(self, matrix_algorithm,
+                                                      transport, persistent):
+        data = np.arange(3000, dtype=np.int64)
+        reference = random_permutation(data, n_procs=4, backend="thread",
+                                       matrix_algorithm=matrix_algorithm, seed=88)
+        out = random_permutation(data, n_procs=4, backend="process",
+                                 transport=transport, persistent=persistent,
+                                 matrix_algorithm=matrix_algorithm, seed=88)
+        assert np.array_equal(reference, out), (transport, persistent)
+        assert sorted(out.tolist()) == list(range(3000))
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_run_sequences_agree_between_modes(self, transport):
+        """k runs on one standing pool == k one-shot runs, same seed."""
+        if True not in PERSISTENT_MODES:
+            pytest.skip("persistent cells disabled by REPRO_PERSISTENT")
+        options = {"transport": transport}
+        persistent = PROMachine(3, seed=17, backend="process",
+                                backend_options=options, persistent=True)
+        cold = PROMachine(3, seed=17, backend="process", backend_options=options)
+        try:
+            for iteration in range(3):
+                a = random_permutation(np.arange(900), machine=persistent)
+                b = random_permutation(np.arange(900), machine=cold)
+                assert np.array_equal(a, b), iteration
+        finally:
+            persistent.close()
+
+    def test_persistent_and_machine_mutually_exclusive(self):
+        machine = PROMachine(2, seed=0)
+        with pytest.raises(ValidationError):
+            sample_matrix_parallel([4, 4], machine=machine, persistent=True)
+
+    def test_persistent_rejected_for_thread_backend(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            sample_matrix_parallel([4, 4], backend="thread", persistent=True)
+
+    def test_persistent_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            sample_communication_matrix([4, 4], persistent=True)
+
+    def test_api_level_persistent_parity(self):
+        if True not in PERSISTENT_MODES:
+            pytest.skip("persistent cells disabled by REPRO_PERSISTENT")
+        reference = sample_communication_matrix([7, 7, 7], parallel=True,
+                                                backend="thread", seed=61)
+        matrix = sample_communication_matrix([7, 7, 7], parallel=True,
+                                             backend="process",
+                                             persistent=True, seed=61)
+        assert np.array_equal(reference, matrix)
 
 
 class TestPermutationDeterminism:

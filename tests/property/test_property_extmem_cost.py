@@ -1,7 +1,6 @@
 """Property-based tests for the external-memory layer and the cost model."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.extmem.blockstore import CachedBlockStore, MemoryBlockStore

@@ -37,6 +37,14 @@ class TestParser:
                 ["permute", "--n", "10", "--transport", "carrier-pigeon"]
             )
 
+    def test_persistent_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["permute", "--n", "10", "--backend", "process", "--persistent",
+             "--repeats", "3"]
+        )
+        assert args.persistent and args.repeats == 3
+        assert not build_parser().parse_args(["permute", "--n", "10"]).persistent
+
 
 class TestCommands:
     def test_permute(self, capsys):
@@ -57,6 +65,14 @@ class TestCommands:
                      "--backend", "process", "--transport", "sharedmem"])
         assert code == 0
         assert "permuted 200 items" in capsys.readouterr().out
+
+    def test_permute_persistent_repeats(self, capsys):
+        code = main(["permute", "--n", "200", "--procs", "2", "--seed", "1",
+                     "--backend", "process", "--persistent", "--repeats", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run 3/3" in out
+        assert "process persistent backend" in out
 
     def test_transport_rejected_for_thread_backend(self):
         from repro.util.errors import ValidationError

@@ -11,7 +11,7 @@ import pytest
 
 from repro.pro.communicator import payload_words
 from repro.pro.machine import PROMachine
-from repro.util.errors import BackendError, CommunicationError, ValidationError
+from repro.util.errors import BackendError
 
 
 def run(n_procs, program, **kwargs):
@@ -109,7 +109,9 @@ class TestPointToPoint:
             if ctx.rank == 1:
                 ctx.comm.recv(0, tag=77)  # never sent
             return None
-        machine = PROMachine(2, seed=0, timeout=0.3)
+        from repro.util.timeouts import scale_timeout
+
+        machine = PROMachine(2, seed=0, timeout=scale_timeout(0.3))
         with pytest.raises(BackendError) as excinfo:
             machine.run(program)
         assert "timed out" in str(excinfo.value) or "failed" in str(excinfo.value)

@@ -8,6 +8,7 @@ from repro.pro.machine import PROMachine
 from repro.pro.topology import Ring
 from repro.rng.counting import CountingRNG
 from repro.util.errors import BackendError, ValidationError
+from repro.util.timeouts import scale_timeout
 
 
 class TestConstruction:
@@ -28,6 +29,22 @@ class TestConstruction:
         with pytest.raises(ValidationError):
             PROMachine(2, backend="inline")
         assert PROMachine(1, backend="inline").n_procs == 1
+
+    def test_persistent_requires_backend_name(self):
+        with pytest.raises(ValidationError, match="persistent"):
+            PROMachine(1, backend=InlineBackend(), persistent=True)
+
+    def test_persistent_rejected_by_backends_without_pools(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            PROMachine(2, backend="thread", persistent=True)
+
+    def test_close_and_context_manager_are_noops_in_process(self):
+        machine = PROMachine(2, seed=0)
+        assert not machine.persistent
+        machine.close()
+        machine.close()  # idempotent
+        with PROMachine(2, seed=0) as scoped:
+            assert scoped.run(lambda ctx: ctx.rank).results == [0, 1]
 
     def test_custom_backend_object(self):
         machine = PROMachine(1, backend=InlineBackend())
@@ -98,7 +115,7 @@ class TestRun:
                 raise RuntimeError("boom on rank 1")
             ctx.comm.barrier()
         with pytest.raises(BackendError, match="rank 1"):
-            PROMachine(3, seed=0, timeout=5).run(program)
+            PROMachine(3, seed=0, timeout=scale_timeout(5)).run(program)
 
     def test_count_random_variates(self):
         machine = PROMachine(2, seed=0, count_random_variates=True)

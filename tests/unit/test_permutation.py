@@ -11,7 +11,6 @@ from repro.core.permutation import (
     random_permutation,
     random_permutation_indices,
 )
-from repro.pro.machine import PROMachine
 from repro.util.errors import BackendError, ValidationError
 
 

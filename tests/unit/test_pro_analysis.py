@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.blocks import BlockDistribution
 from repro.core.permutation import permute_distributed
-from repro.pro.analysis import PROAssessment, SequentialReference, assess_run, granularity
+from repro.pro.analysis import SequentialReference, assess_run, granularity
 from repro.pro.cost import CostRecorder, CostReport
 from repro.pro.machine import PROMachine
 from repro.util.errors import ValidationError

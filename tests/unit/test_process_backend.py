@@ -12,6 +12,7 @@ from repro.pro.backends.process import (
 from repro.pro.machine import PROMachine
 from repro.rng.counting import CountingRNG
 from repro.util.errors import BackendError, ValidationError
+from repro.util.timeouts import scale_timeout
 
 
 class TestPayloadCodec:
@@ -101,11 +102,15 @@ class TestProcessBackendRuns:
     def test_long_compute_survives_short_comm_timeout(self):
         # The fabric timeout bounds *blocked communication*, not compute:
         # a rank that crunches longer than the timeout must still finish.
-        machine = PROMachine(2, seed=0, backend="process", timeout=0.5)
+        # Both sides scale with REPRO_TEST_TIMEOUT_FACTOR so the invariant
+        # (sleep > timeout) survives slow CI runners.
+        machine = PROMachine(2, seed=0, backend="process",
+                             timeout=scale_timeout(0.5))
+        nap = scale_timeout(1.2)
 
         def program(ctx):
             import time as _time
-            _time.sleep(1.2)  # longer than the fabric timeout
+            _time.sleep(nap)  # longer than the fabric timeout
             return ctx.rank
 
         assert machine.run(program).results == [0, 1]
@@ -117,7 +122,8 @@ class TestProcessBackendRuns:
             ctx.comm.barrier()
 
         with pytest.raises(BackendError, match="rank 1"):
-            PROMachine(3, seed=0, backend="process", timeout=15).run(program)
+            PROMachine(3, seed=0, backend="process",
+                       timeout=scale_timeout(15)).run(program)
 
     def test_mismatched_fabric_rejected(self):
         backend = ProcessBackend()

@@ -16,8 +16,13 @@ import pytest
 
 from repro.pro.backends import sharedmem as sharedmem_module
 from repro.pro.backends.process import ProcessBackend, ProcessFabric
-from repro.pro.backends.sharedmem import SharedMemoryTransport, shared_memory_available
+from repro.pro.backends.sharedmem import (
+    SharedMemoryTransport,
+    _SenderRing,
+    shared_memory_available,
+)
 from repro.pro.backends.transport import (
+    SHMRING,
     SHMSEG,
     PickleTransport,
     available_transports,
@@ -26,6 +31,7 @@ from repro.pro.backends.transport import (
 )
 from repro.pro.machine import PROMachine
 from repro.util.errors import BackendError, ValidationError
+from repro.util.timeouts import scale_timeout
 
 TRANSPORTS = ["pickle", "sharedmem"]
 
@@ -198,7 +204,8 @@ class TestSharedMemoryLifecycle:
 class TestFabricIntegration:
     @pytest.mark.parametrize("transport_name", TRANSPORTS)
     def test_put_get_roundtrip(self, transport_name):
-        fabric = ProcessFabric(2, timeout=5.0, transport=make_transport(transport_name))
+        fabric = ProcessFabric(2, timeout=scale_timeout(5.0),
+                               transport=make_transport(transport_name))
         try:
             payload = {"data": np.arange(3000, dtype=np.int64), "tag": "x"}
             fabric.put(0, 1, "t", payload)
@@ -212,7 +219,7 @@ class TestFabricIntegration:
         if not shared_memory_available():
             pytest.skip("no shared memory")
         before = shm_segments()
-        fabric = ProcessFabric(2, timeout=5.0,
+        fabric = ProcessFabric(2, timeout=scale_timeout(5.0),
                                transport=SharedMemoryTransport(min_bytes=16))
         fabric.put(0, 1, "never-received", np.arange(4000, dtype=np.int64))
         # Give the queue feeder a moment, then abort-style shutdown.
@@ -245,7 +252,8 @@ class TestBackendIntegration:
         if not shared_memory_available():
             pytest.skip("no shared memory")
         before = shm_segments()
-        machine = PROMachine(3, seed=0, backend="process", timeout=10)
+        machine = PROMachine(3, seed=0, backend="process",
+                             timeout=scale_timeout(10))
 
         def program(ctx):
             if ctx.rank == 0:
@@ -273,3 +281,133 @@ class TestBackendIntegration:
         run = machine.run(lambda ctx: np.full(5000, ctx.rank, dtype=np.int64))
         assert np.array_equal(run.results[1], np.full(5000, 1))
         run.results[1][0] = 123  # zero-copy views must still be writable
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory")
+class TestRingWrapAround:
+    """Receiver-acked ring slots: reclamation, wrap-around, fallback."""
+
+    class _FakeShm:
+        def __init__(self, size=256):
+            self.size = size
+            self.buf = memoryview(bytearray(size))
+
+    def test_allocator_reclaims_acked_slots_in_order(self):
+        ring = _SenderRing(self._FakeShm(256))
+        assert ring.allocate(100) == (0, 128)    # 100 -> 128 aligned
+        assert ring.allocate(100) == (128, 256)
+        assert ring.allocate(100) is None        # full until acked
+        ring.ack(256)                            # out of order: tail pinned
+        assert ring.tail == 0
+        ring.ack(128)                            # prefix complete: both free
+        assert ring.tail == 256
+        assert ring.reclaimed_bytes == 256
+
+    def test_allocator_wraps_physically(self):
+        ring = _SenderRing(self._FakeShm(256))
+        first = ring.allocate(100)
+        ring.ack(first[1])
+        second = ring.allocate(100)
+        ring.ack(second[1])
+        third = ring.allocate(100)               # virtual 256: back to offset 0
+        assert third == (0, 384)
+        # a slot that would straddle the physical end skips to the boundary
+        ring.ack(third[1])
+        fourth = ring.allocate(160)              # phys 128 + 192 > 256: pad
+        assert fourth[0] == 0
+        assert ring.wraps == 1
+
+    def test_allocator_rejects_oversize_and_duplicate_acks(self):
+        ring = _SenderRing(self._FakeShm(256))
+        assert ring.allocate(512) is None        # bigger than the ring
+        slot = ring.allocate(64)
+        ring.ack(slot[1])
+        ring.ack(slot[1])                        # duplicate: ignored
+        ring.ack(12345)                          # unknown: ignored
+        assert ring.tail == 64
+
+    def test_acked_traffic_never_degrades_to_segments(self):
+        # 50 x 512-byte messages through a 4 KiB ring only stay on the
+        # ring if acked slots are actually reclaimed (PR 2's ring, with
+        # no wrap-around, fell back to dedicated segments after 8).
+        transport = SharedMemoryTransport(min_bytes=16, ring_bytes=4096)
+        ring_name = "testring-acked"
+        receipts = []
+        try:
+            for i in range(50):
+                record = transport.encode(np.full(64, i, dtype=np.int64),
+                                          ring=ring_name)
+                assert record[0] == SHMRING, (i, record[0])
+                view = transport.decode(record, ack=receipts.append)
+                assert np.array_equal(view, np.full(64, i))
+                del view
+                gc.collect()
+                while receipts:
+                    transport.ring_ack(receipts.pop())
+        finally:
+            transport.retire_rings([ring_name])
+
+    def test_unacked_traffic_falls_back_to_segments(self):
+        transport = SharedMemoryTransport(min_bytes=16, ring_bytes=4096)
+        ring_name = "testring-unacked"
+        kinds = []
+        try:
+            for i in range(50):
+                record = transport.encode(np.full(64, i, dtype=np.int64),
+                                          ring=ring_name)
+                kinds.append(record[0])
+                transport.dispose(record)
+        finally:
+            transport.retire_rings([ring_name])
+        assert kinds[0] == SHMRING
+        assert SHMSEG in kinds  # ring exhausted without acks: graceful fallback
+
+    def test_ack_fires_only_after_last_view_dies(self):
+        transport = SharedMemoryTransport(min_bytes=16, ring_bytes=4096)
+        ring_name = "testring-lastview"
+        receipts = []
+        try:
+            payload = {"a": np.arange(64, dtype=np.int64),
+                       "b": np.arange(32, dtype=np.float64)}
+            record = transport.encode(payload, ring=ring_name)
+            assert record[0] == SHMRING
+            out = transport.decode(record, ack=receipts.append)
+            del out["a"]
+            gc.collect()
+            assert receipts == []  # "b" still alive: slot not released
+            del out
+            gc.collect()
+            assert len(receipts) == 1
+            transport.ring_ack(receipts[0])
+        finally:
+            transport.retire_rings([ring_name])
+
+    def test_fabric_routes_acks_between_ranks(self):
+        # Single-process fabric: rank 0 sends to rank 1, rank 1's views
+        # die, and the ack record parked in rank 0's inbox is applied the
+        # next time rank 0 reads its inbox.
+        transport = SharedMemoryTransport(min_bytes=16, ring_bytes=4096)
+        fabric = ProcessFabric(2, timeout=scale_timeout(5.0),
+                               transport=transport)
+        try:
+            from repro.pro.backends.sharedmem import _SENDER_RINGS
+
+            fabric.put(0, 1, "bulk", np.arange(512, dtype=np.int64))
+            view = fabric.get(0, 1, "bulk", [])
+            assert np.array_equal(view, np.arange(512))
+            ring = _SENDER_RINGS[(os.getpid(), fabric._ring_names[0])]
+            assert ring.tail == 0
+            del view
+            gc.collect()                    # ack lands in rank 0's inbox
+            fabric.put(1, 0, "reply", "pong")
+            assert fabric.get(1, 0, "reply", []) == "pong"
+            assert ring.tail > 0            # ...and was applied on the read
+        finally:
+            fabric.shutdown()
+
+    def test_pickle_transport_ignores_ack_machinery(self):
+        transport = PickleTransport()
+        record = transport.encode(np.arange(10))
+        assert np.array_equal(transport.decode(record, ack=lambda r: None),
+                              np.arange(10))
+        transport.ring_ack(("whatever", 0))  # must not raise
