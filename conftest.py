@@ -5,6 +5,20 @@ installed (e.g. on offline machines where ``pip install -e .`` cannot build
 its editable wheel).  When the package *is* installed this is a harmless
 no-op because the installed location takes precedence only if it appears
 earlier on ``sys.path``; tests always exercise the checkout.
+
+Also registers the suite's markers; select with ``pytest -m``:
+
+``slow``
+    Multi-second tests (statistical calibration, big sweeps, subprocess
+    lifecycles).  CI runs ``-m "not slow"`` on every push and the full
+    suite on the matrix job; the tier-1 command runs everything.
+``subprocess``
+    Tests that spawn OS processes (the process backend, worker pools,
+    ``-W error`` leak checks) -- the ones to skip in environments where
+    fork/spawn is restricted.
+``sim``
+    Deterministic-simulation tests (``tests/simulation/``): schedule
+    sweeps and fault injection on the sim backend.
 """
 
 import os
@@ -13,3 +27,15 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: multi-second test; excluded from the fast CI set (-m 'not slow')"
+    )
+    config.addinivalue_line(
+        "markers", "subprocess: spawns OS processes (process backend, pools, -W error checks)"
+    )
+    config.addinivalue_line(
+        "markers", "sim: deterministic-simulation suite (schedule sweeps, fault injection)"
+    )

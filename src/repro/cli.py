@@ -33,9 +33,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     backend_kwargs = dict(
-        choices=["thread", "process", "inline"], default="thread",
-        help="execution backend: thread (default), process (one OS process per rank) "
-             "or inline (p == 1 only); results are seed-identical across backends",
+        choices=["thread", "process", "sim", "inline"], default="thread",
+        help="execution backend: thread (default), process (one OS process per rank), "
+             "sim (all ranks stepped under a deterministic schedule, see "
+             "--schedule-seed) or inline (p == 1 only); results are "
+             "seed-identical across backends",
     )
     transport_kwargs = dict(
         choices=["sharedmem", "pickle"], default=None,
@@ -49,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
              "rank processes and their shared-memory rings are spawned once "
              "and reused by every run; seed-identical results",
     )
+    schedule_seed_kwargs = dict(
+        type=int, default=None, metavar="K",
+        help="rank-interleaving seed of the sim backend (--backend sim): "
+             "each K replays one deterministic schedule; rejected for other "
+             "backends, seed-identical results under every schedule",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -58,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     permute.add_argument("--backend", **backend_kwargs)
     permute.add_argument("--transport", **transport_kwargs)
     permute.add_argument("--persistent", **persistent_kwargs)
+    permute.add_argument("--schedule-seed", **schedule_seed_kwargs)
     permute.add_argument("--repeats", type=int, default=1,
                          help="how many permutations to run on the same machine "
                               "(with --persistent the spawn cost is paid once)")
@@ -73,11 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="sequential",
                         help="sequential/recursive/batched sample in-process; "
                              "alg5/alg6/root run on a PRO machine")
-    matrix.add_argument("--backend", choices=["thread", "process", "inline"], default=None,
+    matrix.add_argument("--backend", choices=["thread", "process", "sim", "inline"],
+                        default=None,
                         help="execution backend for alg5/alg6/root (default thread); "
                              "rejected for the in-process algorithms")
     matrix.add_argument("--transport", **transport_kwargs)
     matrix.add_argument("--persistent", **persistent_kwargs)
+    matrix.add_argument("--schedule-seed", **schedule_seed_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -116,9 +127,14 @@ def _cmd_permute(args) -> int:
     from repro.core.permutation import permute_distributed
     from repro.pro.machine import PROMachine
 
+    backend_options = {}
+    if args.transport is not None:
+        backend_options["transport"] = args.transport
+    if args.schedule_seed is not None:
+        backend_options["schedule_seed"] = args.schedule_seed
     machine = PROMachine(
         args.procs, seed=args.seed, backend=args.backend,
-        backend_options={} if args.transport is None else {"transport": args.transport},
+        backend_options=backend_options,
         persistent=args.persistent,
         count_random_variates=True,
     )
@@ -154,6 +170,7 @@ def _cmd_matrix(args) -> int:
         backend=args.backend,  # the API rejects backend= for the in-process path
         transport=args.transport,  # likewise parallel-path only
         persistent=args.persistent,  # likewise parallel-path only
+        schedule_seed=args.schedule_seed,  # likewise parallel-path only
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "

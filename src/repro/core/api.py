@@ -36,6 +36,7 @@ def sample_communication_matrix(
     backend: str | object | None = None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -76,6 +77,11 @@ def sample_communication_matrix(
         Run the parallel path on a standing worker pool (process backend
         only; see :class:`~repro.pro.backends.pool.WorkerPool`).  Like
         ``backend``, parallel-path only and seed-invariant.
+    schedule_seed:
+        Rank-interleaving seed of the sim backend (``backend="sim"``;
+        see :mod:`repro.pro.backends.sim`).  Like ``backend``,
+        parallel-path only, and the matrix is identical under every
+        schedule.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -117,6 +123,11 @@ def sample_communication_matrix(
                 "persistent= only applies to parallel=True (the sequential path "
                 "runs no worker pool)"
             )
+        if schedule_seed is not None:
+            raise ValidationError(
+                "schedule_seed= only applies to parallel=True (the sequential "
+                "path schedules no ranks)"
+            )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
@@ -136,6 +147,7 @@ def sample_communication_matrix(
         backend=backend,
         transport=transport,
         persistent=persistent,
+        schedule_seed=schedule_seed,
         seed=seed,
         method=method,
     )

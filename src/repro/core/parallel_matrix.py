@@ -304,6 +304,7 @@ def sample_matrix_parallel(
     backend: str | object | None = None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
     seed=None,
     method: str = "auto",
     tile_strategy: str = "auto",
@@ -339,6 +340,12 @@ def sample_matrix_parallel(
         across calls, build the machine once (``PROMachine(...,
         persistent=True)`` or :func:`repro.pro.backends.pool.pool`) and
         pass it as ``machine``.  Seed-invariant like ``backend``.
+    schedule_seed:
+        Rank-interleaving seed of the sim backend (``backend="sim"``):
+        each value explores a different deterministic schedule, every one
+        of which must yield the same matrix (results are
+        schedule-invariant).  Rejected for backends without the option
+        and for pre-configured machines.
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
@@ -363,7 +370,7 @@ def sample_matrix_parallel(
     owns_machine = machine is None
     machine = resolve_machine(
         rows.size, machine=machine, backend=backend, seed=seed,
-        transport=transport, persistent=persistent,
+        transport=transport, persistent=persistent, schedule_seed=schedule_seed,
     )
     if machine.n_procs != rows.size:
         raise ValidationError(

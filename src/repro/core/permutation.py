@@ -181,6 +181,7 @@ def permute_distributed(
     backend: str | object | None = None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -193,7 +194,9 @@ def permute_distributed(
     ``"pickle"``; also seed-invariant), and ``persistent`` runs the call on
     a standing worker pool (private to this call when ``machine`` is
     omitted -- pass a ``PROMachine(..., persistent=True)`` to amortise the
-    fleet across calls; also seed-invariant).  The returned blocks follow
+    fleet across calls; also seed-invariant), and ``schedule_seed`` picks
+    the sim backend's rank interleaving (``backend="sim"``; every schedule
+    yields the same blocks).  The returned blocks follow
     ``target_sizes`` (defaulting to the input sizes); the second element of
     the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
@@ -203,7 +206,7 @@ def permute_distributed(
     owns_machine = machine is None
     machine = resolve_machine(
         len(blocks), machine=machine, backend=backend, seed=seed,
-        transport=transport, persistent=persistent,
+        transport=transport, persistent=persistent, schedule_seed=schedule_seed,
     )
     if machine.n_procs != len(blocks):
         raise ValidationError(
@@ -233,6 +236,7 @@ def random_permutation(
     backend: str | object | None = None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -275,6 +279,7 @@ def random_permutation(
         backend=backend,
         transport=transport,
         persistent=persistent,
+        schedule_seed=schedule_seed,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -290,6 +295,7 @@ def random_permutation_indices(
     backend: str | object | None = None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
@@ -308,5 +314,6 @@ def random_permutation_indices(
         backend=backend,
         transport=transport,
         persistent=persistent,
+        schedule_seed=schedule_seed,
         seed=seed,
     )

@@ -14,8 +14,8 @@ environment (SSCRAP on top of MPI / shared memory).  It provides
   virtual processors,
 * :mod:`~repro.pro.backends` -- the pluggable execution-backend registry.
   Backends are selected by name (``backend="inline" | "thread" |
-  "process"``) everywhere a machine is built -- drivers, CLI, bench
-  harness -- and new ones are added with
+  "process" | "sim"``) everywhere a machine is built -- drivers, CLI,
+  bench harness -- and new ones are added with
   :func:`~repro.pro.backends.registry.register_backend`.  The contract a
   backend must honour (fabric semantics ``put``/``get``/``barrier_wait``/
   ``abort``, error-propagation rules mirroring the thread backend's

@@ -22,6 +22,18 @@ Built-in backends:
   *single* rank in the calling thread; used for ``p = 1`` runs (the
   sequential reference inside the same harness) and for micro-benchmarks
   where thread start-up costs would drown the signal.
+* :class:`~repro.pro.backends.sim.SimBackend` (``"sim"``) -- all ``p`` ranks
+  stepped *cooperatively* under a seedable, replayable deterministic
+  schedule (``schedule_seed=`` / ``schedule=``); blocking never consults a
+  wall clock, so deadlocks -- e.g. from an injected fault -- are proved and
+  reported immediately.  The debugging and test-sweep backend.
+
+Fault injection (:mod:`repro.pro.backends.faults`) works against *any* of
+them: :class:`~repro.pro.backends.faults.FaultInjectingBackend` wraps a
+backend so its runs act out a declarative plan of rank crashes, dropped or
+delayed messages, barrier timeouts and mid-transfer aborts, and
+:func:`~repro.pro.backends.faults.shrink_schedule` minimises a failing sim
+interleaving to a short reproducer.
 
 The process backend additionally takes a *payload transport*
 (``transport="sharedmem" | "pickle"``, see
@@ -62,10 +74,33 @@ from repro.pro.backends.transport import (
 )
 from repro.pro.backends.sharedmem import SharedMemoryTransport
 from repro.pro.backends.pool import WorkerPool, pool
+from repro.pro.backends.sim import SimBackend, SimFabric
+from repro.pro.backends.faults import (
+    AbortTransfer,
+    BarrierTimeout,
+    CrashRank,
+    DelayMessage,
+    DropMessage,
+    FaultInjectingBackend,
+    FaultPlan,
+    InjectedFault,
+    shrink_schedule,
+)
 
 __all__ = [
     "WorkerPool",
     "pool",
+    "SimBackend",
+    "SimFabric",
+    "AbortTransfer",
+    "BarrierTimeout",
+    "CrashRank",
+    "DelayMessage",
+    "DropMessage",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "InjectedFault",
+    "shrink_schedule",
     "BackendCapabilities",
     "BackendSpec",
     "ExecutionBackend",

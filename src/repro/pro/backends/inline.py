@@ -30,6 +30,7 @@ class InlineBackend(ExecutionBackend):
         blocking_p2p=False,
         true_parallelism=False,
         shared_address_space=True,
+        deterministic_schedule=True,
     )
 
     def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:

@@ -265,7 +265,40 @@ class ProcessFabric:
         ``drain_timeout`` is the per-inbox wait for straggling feeder
         flushes; the backend passes 0 on clean runs (the inboxes are empty)
         and a short grace period after aborts and timeouts.
+
+        Reading records back can block indefinitely: a worker terminated
+        mid-``put`` of a large in-band record leaves a *truncated* message
+        whose body ``Queue.get`` waits on forever (its timeout only covers
+        the readiness poll, not the body read -- even the sharedmem
+        transport queues multi-KB in-band bodies for sub-``min_bytes``
+        arrays and when segment creation degrades to the inline codec).
+        Two defences: transports whose ``dispose`` is the base-class no-op
+        hold nothing out-of-band and are not drained at all, and the drain
+        of the others runs on a watchdog thread that is abandoned -- with
+        the stranded segments left to the resource tracker's exit-time
+        cleanup, which is what it is for -- rather than hanging the caller.
         """
+        disposes = True  # duck-typed transports: assume dispose matters
+        if isinstance(self.transport, PayloadTransport):
+            disposes = type(self.transport).dispose is not PayloadTransport.dispose
+        if disposes:
+            drain = threading.Thread(
+                target=self._drain_and_dispose, args=(drain_timeout,),
+                name="pro-fabric-drain", daemon=True,
+            )
+            drain.start()
+            drain.join(timeout=2.0 + 4.0 * drain_timeout)
+        if self._ring_names is not None:
+            try:
+                self.transport.retire_rings(self._ring_names)
+            except Exception:  # pragma: no cover - retirement is best effort
+                pass
+        for inbox in self._inboxes:
+            inbox.close()
+            inbox.cancel_join_thread()
+
+    def _drain_and_dispose(self, drain_timeout: float) -> None:
+        """Body of the shutdown drain (run on an abandonable thread)."""
         for inbox in self._inboxes:
             waited = False
             while True:
@@ -287,14 +320,6 @@ class ProcessFabric:
                     self.transport.dispose(record)
                 except Exception:  # pragma: no cover - disposal is best effort
                     pass
-        if self._ring_names is not None:
-            try:
-                self.transport.retire_rings(self._ring_names)
-            except Exception:  # pragma: no cover - retirement is best effort
-                pass
-        for inbox in self._inboxes:
-            inbox.close()
-            inbox.cancel_join_thread()
 
 
 class _VariateCount:

@@ -139,12 +139,19 @@ class BackendCapabilities:
         arbitrary objects and mutate shared state.  Backends without it
         (process) require picklable programs/arguments and ship results,
         cost records and variate counts back explicitly.
+    deterministic_schedule:
+        The interleaving of rank execution is fully determined by the
+        backend's configuration (sim, and trivially inline): two identical
+        runs step their ranks in the identical order, so schedule-dependent
+        failures replay exactly.  Backends whose ranks are scheduled by the
+        OS (thread, process) cannot promise this.
     """
 
     multirank: bool = True
     blocking_p2p: bool = True
     true_parallelism: bool = False
     shared_address_space: bool = True
+    deterministic_schedule: bool = False
 
 
 @dataclass(frozen=True)

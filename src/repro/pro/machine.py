@@ -104,7 +104,9 @@ class PROMachine:
         seed and the same ``n_procs`` produce identical runs.
     backend:
         A backend name from the registry -- ``"thread"`` (default),
-        ``"process"`` (one OS process per rank) or ``"inline"`` (only for
+        ``"process"`` (one OS process per rank), ``"sim"`` (all ranks
+        stepped cooperatively under a deterministic, seedable schedule;
+        see :mod:`repro.pro.backends.sim`) or ``"inline"`` (only for
         ``n_procs == 1``) -- or an object with a
         ``run(contexts, program, args, kwargs)`` method (see
         :mod:`repro.pro.backends.registry` for the full contract).  For a
@@ -294,6 +296,7 @@ def resolve_machine(
     seed=None,
     transport: str | object | None = None,
     persistent: bool = False,
+    schedule_seed: int | None = None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -303,14 +306,22 @@ def resolve_machine(
     pre-configured machine and a backend name is rejected because the
     machine already fixes its backend.  ``transport`` selects the payload
     transport of backends that take one (the process backend:
-    ``"sharedmem"`` or ``"pickle"``) and ``persistent`` requests a
-    standing worker fleet (the process backend's worker pool); both are
-    rejected for backends without the option and for pre-configured
-    machines.  Drivers that build a persistent machine themselves are
-    expected to close it when done (they own its worker fleet).
+    ``"sharedmem"`` or ``"pickle"``), ``persistent`` requests a standing
+    worker fleet (the process backend's worker pool), and
+    ``schedule_seed`` seeds the rank-interleaving schedule of backends
+    that take one (the sim backend) -- all three are rejected for backends
+    without the option and for pre-configured machines.  Neither option
+    affects what the ranks draw: a fixed ``seed`` stays bit-identical
+    across all of them.  Drivers that build a persistent machine
+    themselves are expected to close it when done (they own its worker
+    fleet).
     """
     if machine is None:
-        options = {} if transport is None else {"transport": transport}
+        options = {}
+        if transport is not None:
+            options["transport"] = transport
+        if schedule_seed is not None:
+            options["schedule_seed"] = schedule_seed
         return PROMachine(
             n_procs, seed=seed, backend="thread" if backend is None else backend,
             backend_options=options, persistent=persistent,
@@ -328,5 +339,10 @@ def resolve_machine(
         raise ValidationError(
             "pass either a pre-configured machine or persistent=True, not both "
             "(build the machine with persistent=True instead)"
+        )
+    if schedule_seed is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or schedule_seed, not both "
+            "(configure the machine's sim backend with schedule_seed instead)"
         )
     return machine

@@ -1,12 +1,14 @@
 """Cross-backend determinism: same seed => bit-identical results everywhere.
 
 The per-rank random streams are derived in the parent machine and shipped to
-wherever the rank executes, so the inline, thread and process backends must
-produce exactly the same matrices and permutations for a fixed seed.  These
-tests pin that contract (it is what makes the process backend a drop-in
+wherever the rank executes, so the inline, thread, process and sim backends
+must produce exactly the same matrices and permutations for a fixed seed.
+These tests pin that contract (it is what makes each backend a drop-in
 replacement rather than a different sampler) across every payload transport
-(``pickle`` / ``sharedmem``) and both persistence modes of the process
-backend (one-shot spawn vs the standing worker pool).
+(``pickle`` / ``sharedmem``), both persistence modes of the process backend
+(one-shot spawn vs the standing worker pool), and the sim backend's
+schedule seeds (interleavings must never change results; the exhaustive
+schedule sweep lives in ``tests/simulation/``).
 
 The CI determinism matrix runs this module once per OS runner and
 persistence mode; set ``REPRO_PERSISTENT=0`` or ``1`` to narrow the
@@ -25,8 +27,8 @@ from repro.pro.machine import PROMachine
 from repro.util.errors import ValidationError
 
 ALGORITHMS = ["alg5", "alg6", "root"]
-MULTI_RANK_BACKENDS = ["thread", "process"]
-ALL_BACKENDS = ["inline", "thread", "process"]
+MULTI_RANK_BACKENDS = ["thread", "process", "sim"]
+ALL_BACKENDS = ["inline", "thread", "process", "sim"]
 
 
 def _persistent_modes() -> list:
@@ -52,15 +54,28 @@ class TestMatrixDeterminism:
 
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     @pytest.mark.parametrize("n_procs", [2, 4, 5])
-    def test_thread_and_process_identical(self, algorithm, n_procs):
+    def test_multirank_backends_identical(self, algorithm, n_procs):
         row_sums = np.arange(1, n_procs + 1) * 3
         matrices = {}
         for backend in MULTI_RANK_BACKENDS:
             matrices[backend], _ = sample_matrix_parallel(
                 row_sums, algorithm=algorithm, backend=backend, seed=101
             )
-        assert np.array_equal(matrices["thread"], matrices["process"])
+        for backend in MULTI_RANK_BACKENDS[1:]:
+            assert np.array_equal(matrices["thread"], matrices[backend]), backend
         assert np.array_equal(matrices["thread"].sum(axis=1), row_sums)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("schedule_seed", [0, 1, 17])
+    def test_sim_schedule_seeds_never_change_results(self, algorithm, schedule_seed):
+        row_sums = np.arange(1, 5) * 4
+        reference, _ = sample_matrix_parallel(row_sums, algorithm=algorithm,
+                                              backend="thread", seed=246)
+        matrix, _ = sample_matrix_parallel(
+            row_sums, algorithm=algorithm, backend="sim",
+            schedule_seed=schedule_seed, seed=246,
+        )
+        assert np.array_equal(reference, matrix)
 
     @pytest.mark.parametrize("tile_strategy", ["sequential", "batched"])
     def test_alg6_tile_strategies_backend_invariant(self, tile_strategy):
@@ -71,7 +86,8 @@ class TestMatrixDeterminism:
             )[0]
             for backend in MULTI_RANK_BACKENDS
         ]
-        assert np.array_equal(matrices[0], matrices[1])
+        for matrix in matrices[1:]:
+            assert np.array_equal(matrices[0], matrix)
 
     def test_api_level_acceptance(self):
         """sample_communication_matrix(..., backend=...) end-to-end parity."""
@@ -245,13 +261,14 @@ class TestPersistentDeterminism:
 
 
 class TestPermutationDeterminism:
-    def test_thread_and_process_permute_identically(self):
+    def test_multirank_backends_permute_identically(self):
         data = np.arange(60, dtype=np.int64)
         outputs = [
             random_permutation(data, n_procs=4, backend=backend, seed=11)
             for backend in MULTI_RANK_BACKENDS
         ]
-        assert np.array_equal(outputs[0], outputs[1])
+        for out in outputs[1:]:
+            assert np.array_equal(outputs[0], out)
         assert sorted(outputs[0].tolist()) == list(range(60))
 
     @pytest.mark.parametrize("matrix_algorithm", ALGORITHMS)
@@ -259,6 +276,22 @@ class TestPermutationDeterminism:
         data = np.arange(30, dtype=np.int64)
         a = random_permutation(data, n_procs=3, backend="thread",
                                matrix_algorithm=matrix_algorithm, seed=5)
-        b = random_permutation(data, n_procs=3, backend="process",
-                               matrix_algorithm=matrix_algorithm, seed=5)
-        assert np.array_equal(a, b)
+        for backend in MULTI_RANK_BACKENDS[1:]:
+            b = random_permutation(data, n_procs=3, backend=backend,
+                                   matrix_algorithm=matrix_algorithm, seed=5)
+            assert np.array_equal(a, b), backend
+
+    def test_schedule_seed_and_machine_mutually_exclusive(self):
+        machine = PROMachine(2, seed=0, backend="sim")
+        with pytest.raises(ValidationError):
+            sample_matrix_parallel([4, 4], machine=machine, schedule_seed=3)
+
+    def test_schedule_seed_rejected_for_thread_backend(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            sample_matrix_parallel([4, 4], backend="thread", schedule_seed=3)
+
+    def test_schedule_seed_rejected_on_sequential_path(self):
+        from repro.core.api import sample_communication_matrix
+
+        with pytest.raises(ValidationError, match="parallel"):
+            sample_communication_matrix([4, 4], schedule_seed=3)

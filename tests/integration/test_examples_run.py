@@ -11,6 +11,9 @@ from pathlib import Path
 
 import pytest
 
+# The examples exercise every backend, including process ranks.
+pytestmark = pytest.mark.subprocess
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 EXAMPLE_SCRIPTS = [

@@ -12,7 +12,12 @@ import pytest
 
 from repro.core.parallel_matrix import sample_matrix_parallel
 from repro.pro.machine import PROMachine
+
 from repro.stats.matrix_tests import chi_square_matrix_law, entry_marginal_test, merged_matrix_test
+
+# Enumerating exact laws over thousands of machine runs is multi-second
+# work; the fast CI set (-m "not slow") skips it.
+pytestmark = pytest.mark.slow
 
 
 class TestExactLawSmallCases:

@@ -19,6 +19,10 @@ from repro.stats.uniformity import (
     position_occupancy_test,
 )
 
+# Thousands of full pipeline runs per test: statistically strong but
+# multi-second -- the fast CI set (-m "not slow") skips them.
+pytestmark = pytest.mark.slow
+
 
 def make_sampler(n, p, seed, matrix_algorithm="root"):
     machine = PROMachine(p, seed=seed)

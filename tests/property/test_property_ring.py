@@ -1,0 +1,166 @@
+"""Stateful property test of the circular ``_SenderRing`` slot allocator.
+
+The ring is the heart of the shared-memory transport's sustained-traffic
+path (see :mod:`repro.pro.backends.sharedmem`): senders bump-allocate
+contiguous slots from a circular buffer, receivers acknowledge slots once
+their zero-copy views die, and the allocator reclaims the contiguous acked
+prefix.  Hypothesis drives random alloc/ack/oversize/duplicate-ack
+sequences against a model and checks the safety invariants that, if ever
+violated, would silently corrupt message payloads:
+
+* a returned slot is 64-byte aligned, physically contiguous and entirely
+  inside the buffer;
+* a returned slot never overlaps any slot that is still unreclaimed
+  (allocated, not yet freed by the contiguous-acked-prefix rule);
+* slots are reclaimed exactly in allocation order, only once acked;
+* unknown and duplicate receipts are ignored;
+* the allocator never refuses when the ring is empty and the request fits
+  (and, the liveness half: when every ack keeps pace, traffic cycles
+  through the buffer indefinitely -- it never degrades).
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.pro.backends.sharedmem import _ALIGN, _SenderRing
+
+CAPACITY = 64 * _ALIGN  # 4 KiB ring: small enough to wrap constantly
+
+
+def _fresh_ring(size: int = CAPACITY) -> _SenderRing:
+    # The allocator only consults shm.size; no real segment needed.
+    return _SenderRing(SimpleNamespace(size=size))
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class RingAllocatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ring = _fresh_ring()
+        # Unreclaimed slots in allocation order: dicts with position, size
+        # (aligned), receipt, acked.
+        self.outstanding: list[dict] = []
+        self.last_reclaimed = 0
+
+    # -- helpers -------------------------------------------------------------
+    def _reclaim_prefix(self) -> None:
+        # Specification of the ring's release rule: the contiguous acked
+        # prefix (in allocation order) becomes reusable.
+        while self.outstanding and self.outstanding[0]["acked"]:
+            self.outstanding.pop(0)
+
+    # -- rules ---------------------------------------------------------------
+    @rule(nbytes=st.integers(min_value=1, max_value=CAPACITY))
+    def allocate(self, nbytes):
+        slot = self.ring.allocate(nbytes)
+        if slot is None:
+            # Refusal is only legitimate while unreclaimed slots exist.
+            assert self.outstanding, (
+                f"empty ring refused a fitting allocation of {nbytes} bytes"
+            )
+            return
+        position, receipt = slot
+        size = _aligned(nbytes)
+        assert position % _ALIGN == 0
+        assert 0 <= position and position + size <= self.ring.capacity, (
+            "slot not physically contiguous inside the buffer"
+        )
+        for other in self.outstanding:
+            assert (position + size <= other["position"]
+                    or other["position"] + other["size"] <= position), (
+                f"slot [{position}, {position + size}) overlaps live slot "
+                f"[{other['position']}, {other['position'] + other['size']})"
+            )
+        self.outstanding.append(
+            {"position": position, "size": size, "receipt": receipt, "acked": False}
+        )
+
+    @precondition(lambda self: any(not s["acked"] for s in self.outstanding))
+    @rule(index=st.integers(min_value=0, max_value=200))
+    def ack_some_live_slot(self, index):
+        live = [s for s in self.outstanding if not s["acked"]]
+        slot = live[index % len(live)]
+        slot["acked"] = True
+        self.ring.ack(slot["receipt"])
+        self._reclaim_prefix()
+
+    @rule(receipt=st.integers())
+    def ack_unknown_receipt_is_ignored(self, receipt):
+        known = {s["receipt"] for s in self.outstanding}
+        if receipt in known:
+            return
+        head, tail = self.ring.head, self.ring.tail
+        self.ring.ack(receipt)
+        assert (self.ring.head, self.ring.tail) == (head, tail)
+
+    @precondition(lambda self: any(s["acked"] for s in self.outstanding))
+    @rule()
+    def duplicate_ack_is_ignored(self):
+        slot = next(s for s in self.outstanding if s["acked"])
+        head, tail = self.ring.head, self.ring.tail
+        self.ring.ack(slot["receipt"])
+        assert (self.ring.head, self.ring.tail) == (head, tail)
+
+    @rule(extra=st.integers(min_value=1, max_value=4 * CAPACITY))
+    def oversize_is_always_refused(self, extra):
+        assert self.ring.allocate(CAPACITY + extra) is None
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def live_bytes_fit_the_capacity(self):
+        assert 0 <= self.ring.tail <= self.ring.head
+        assert self.ring.head - self.ring.tail <= self.ring.capacity
+
+    @invariant()
+    def reclaimed_bytes_monotonic(self):
+        assert self.ring.reclaimed_bytes >= self.last_reclaimed
+        self.last_reclaimed = self.ring.reclaimed_bytes
+
+
+RingAllocatorMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None,
+)
+TestRingAllocator = RingAllocatorMachine.TestCase
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=CAPACITY // 2),
+                      min_size=50, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_acked_traffic_never_degrades(sizes):
+    """When acks keep pace, the ring serves unbounded traffic (liveness)."""
+    ring = _fresh_ring()
+    for nbytes in sizes:
+        slot = ring.allocate(nbytes)
+        assert slot is not None, (
+            f"promptly acked ring refused {nbytes} bytes after "
+            f"{ring.wraps} wraps"
+        )
+        ring.ack(slot[1])
+    assert ring.head - ring.tail == 0  # everything reclaimed
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_windowed_acks_sustain_wrapping(seed):
+    """A bounded in-flight window (receiver lag) still cycles forever."""
+    import random
+
+    rng = random.Random(seed)
+    ring = _fresh_ring()
+    in_flight: list[int] = []
+    for _ in range(300):
+        slot = ring.allocate(rng.randrange(1, CAPACITY // 8))
+        if slot is None:
+            # Full up: the oldest receipts must free space again.
+            assert in_flight, "empty ring refused an eighth-capacity slot"
+            ring.ack(in_flight.pop(0))
+            continue
+        in_flight.append(slot[1])
+        while len(in_flight) > 4:  # receiver lags at most 4 messages
+            ring.ack(in_flight.pop(0))
+    assert ring.wraps > 0  # the window is tiny; 300 messages must wrap

@@ -1,8 +1,9 @@
-"""Unit tests for the command-line interface."""
+"""Unit tests for the command-line interface (and the pool() front door)."""
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.util.errors import BackendError, ValidationError
 
 
 class TestParser:
@@ -45,6 +46,22 @@ class TestParser:
         assert args.persistent and args.repeats == 3
         assert not build_parser().parse_args(["permute", "--n", "10"]).persistent
 
+    def test_schedule_seed_parsed_on_permute_and_matrix(self):
+        args = build_parser().parse_args(
+            ["permute", "--n", "10", "--backend", "sim", "--schedule-seed", "7"]
+        )
+        assert args.backend == "sim" and args.schedule_seed == 7
+        args = build_parser().parse_args(
+            ["matrix", "--sizes", "4,4", "--backend", "sim", "--schedule-seed", "0"]
+        )
+        assert args.schedule_seed == 0
+        assert build_parser().parse_args(["permute", "--n", "10"]).schedule_seed is None
+
+    def test_sim_backend_is_a_choice_everywhere(self):
+        for argv in (["permute", "--n", "10", "--backend", "sim"],
+                     ["matrix", "--sizes", "4,4", "--backend", "sim"]):
+            assert build_parser().parse_args(argv).backend == "sim"
+
 
 class TestCommands:
     def test_permute(self, capsys):
@@ -60,12 +77,14 @@ class TestCommands:
         assert code == 0
         assert "permuted 60 items" in capsys.readouterr().out
 
+    @pytest.mark.subprocess
     def test_permute_process_transport(self, capsys):
         code = main(["permute", "--n", "200", "--procs", "2", "--seed", "1",
                      "--backend", "process", "--transport", "sharedmem"])
         assert code == 0
         assert "permuted 200 items" in capsys.readouterr().out
 
+    @pytest.mark.subprocess
     def test_permute_persistent_repeats(self, capsys):
         code = main(["permute", "--n", "200", "--procs", "2", "--seed", "1",
                      "--backend", "process", "--persistent", "--repeats", "3"])
@@ -75,10 +94,39 @@ class TestCommands:
         assert "process persistent backend" in out
 
     def test_transport_rejected_for_thread_backend(self):
-        from repro.util.errors import ValidationError
         with pytest.raises(ValidationError, match="does not accept"):
             main(["permute", "--n", "50", "--backend", "thread",
                   "--transport", "sharedmem"])
+
+    def test_permute_sim_schedule_seed(self, capsys):
+        code = main(["permute", "--n", "300", "--procs", "4", "--seed", "1",
+                     "--backend", "sim", "--schedule-seed", "13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "permuted 300 items" in out and "sim backend" in out
+
+    def test_permute_sim_results_match_thread_backend(self, capsys):
+        outputs = []
+        for extra in (["--backend", "thread"],
+                      ["--backend", "sim", "--schedule-seed", "5"]):
+            assert main(["permute", "--n", "120", "--procs", "3",
+                         "--seed", "9", *extra]) == 0
+            out = capsys.readouterr().out
+            outputs.append(next(line for line in out.splitlines()
+                                if line.startswith("first ")))
+        assert outputs[0] == outputs[1]
+
+    def test_schedule_seed_rejected_for_thread_backend(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            main(["permute", "--n", "50", "--backend", "thread",
+                  "--schedule-seed", "3"])
+
+    def test_repeats_clamped_to_at_least_one(self, capsys):
+        code = main(["permute", "--n", "60", "--procs", "2", "--seed", "1",
+                     "--repeats", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "permuted 60 items" in out and "run 0/" not in out
 
     def test_matrix_sequential(self, capsys):
         code = main(["matrix", "--sizes", "5,5,5", "--seed", "2"])
@@ -92,6 +140,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "column sums: [6, 3, 3]" in out
+
+    def test_matrix_sim_backend_matches_thread(self, capsys):
+        outputs = []
+        for extra in (["--backend", "thread"],
+                      ["--backend", "sim", "--schedule-seed", "4"]):
+            assert main(["matrix", "--sizes", "5,5,5", "--algorithm", "alg5",
+                         "--seed", "11", *extra]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    @pytest.mark.subprocess
+    def test_matrix_process_transport(self, capsys):
+        code = main(["matrix", "--sizes", "6,6", "--algorithm", "root",
+                     "--backend", "process", "--transport", "pickle",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "row sums   : [6, 6]" in out
+
+    @pytest.mark.subprocess
+    def test_matrix_persistent_pool(self, capsys):
+        code = main(["matrix", "--sizes", "5,5", "--algorithm", "alg6",
+                     "--backend", "process", "--persistent", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "row sums   : [5, 5]" in out
+
+    def test_matrix_transport_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            main(["matrix", "--sizes", "5,5", "--transport", "pickle"])
+
+    def test_matrix_persistent_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            main(["matrix", "--sizes", "5,5", "--persistent"])
+
+    def test_matrix_schedule_seed_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            main(["matrix", "--sizes", "5,5", "--schedule-seed", "2"])
 
     def test_scaling_paper(self, capsys):
         code = main(["scaling", "--paper"])
@@ -117,3 +203,77 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "uniforms per call" in out
+
+
+    @pytest.mark.subprocess
+    @pytest.mark.slow
+    def test_scaling_measured_with_transport(self, capsys):
+        code = main(["scaling", "--measure", "3000", "--procs", "2",
+                     "--backend", "process", "--transport", "pickle"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Measured on this machine" in out
+
+
+def _allreduce_program(ctx):
+    return ctx.comm.allreduce(ctx.rank)
+
+
+def _raise_program(ctx):
+    raise RuntimeError("boom inside the pool")
+
+
+@pytest.mark.subprocess
+class TestPoolContextManagerErrorPaths:
+    """pool() must release its standing fleet on *every* exit path."""
+
+    def test_body_exception_still_closes_the_fleet(self):
+        from repro.pro.backends.pool import pool
+
+        with pytest.raises(RuntimeError, match="user code"):
+            with pool(2, seed=0) as machine:
+                assert machine.run(_allreduce_program).results == [1, 1]
+                saved = machine
+                raise RuntimeError("user code went wrong")
+        assert not saved.backend._pools  # fleet released, nothing standing
+
+    def test_failed_run_propagates_and_fleet_is_released(self):
+        from repro.pro.backends.pool import pool
+
+        with pytest.raises(BackendError, match="rank"):
+            with pool(2, seed=0) as machine:
+                saved = machine
+                machine.run(_raise_program)
+        assert not saved.backend._pools
+
+    def test_poisoned_fleet_inside_the_context(self):
+        from repro.pro.backends.pool import pool
+
+        with pool(2, seed=0) as machine:
+            with pytest.raises(BackendError):
+                machine.run(_raise_program)
+            with pytest.raises(BackendError, match="poisoned"):
+                machine.run(_allreduce_program)
+
+    def test_invalid_n_procs_raises_before_spawning(self):
+        from repro.pro.backends.pool import pool
+
+        with pytest.raises(ValidationError):
+            with pool(0, seed=0):
+                pass  # pragma: no cover - never entered
+
+    def test_invalid_transport_raises_before_spawning(self):
+        from repro.pro.backends.pool import pool
+
+        with pytest.raises(ValidationError, match="transport"):
+            with pool(2, seed=0, transport="carrier-pigeon"):
+                pass  # pragma: no cover - never entered
+
+    def test_machine_usable_again_after_context_exit(self):
+        from repro.pro.backends.pool import pool
+
+        with pool(2, seed=0) as machine:
+            first = machine.run(_allreduce_program).results
+        # exiting closed the fleet; a later run simply respawns one
+        assert machine.run(_allreduce_program).results == first
+        machine.close()

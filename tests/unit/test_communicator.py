@@ -183,11 +183,15 @@ class TestCollectives:
         assert run(4, program) == [0, 100, 200, 300]
 
     def test_scatter_wrong_length_raises(self):
+        # Non-root ranks are recv-blocked when the root's validation
+        # error aborts the run; on the thread backend they would sit out
+        # the full communication timeout (this test used to take 60s).
+        # The sim backend proves the deadlock immediately instead.
         def program(ctx):
             objs = [1, 2] if ctx.rank == 0 else None
             return ctx.comm.scatter(objs, root=0)
-        with pytest.raises(BackendError):
-            run(3, program)
+        with pytest.raises(BackendError, match="rank 0"):
+            run(3, program, backend="sim")
 
     def test_alltoall(self):
         def program(ctx):

@@ -14,6 +14,8 @@ from repro.rng.counting import CountingRNG
 from repro.util.errors import BackendError, ValidationError
 from repro.util.timeouts import scale_timeout
 
+pytestmark = pytest.mark.subprocess  # every test forks rank processes
+
 
 class TestPayloadCodec:
     def test_array_roundtrip_preserves_dtype_shape_values(self):

@@ -222,9 +222,11 @@ class TestFabricIntegration:
         fabric = ProcessFabric(2, timeout=scale_timeout(5.0),
                                transport=SharedMemoryTransport(min_bytes=16))
         fabric.put(0, 1, "never-received", np.arange(4000, dtype=np.int64))
-        # Give the queue feeder a moment, then abort-style shutdown.
+        # Give the queue feeder a moment, then abort-style shutdown.  The
+        # drain grace must stretch with REPRO_TEST_TIMEOUT_FACTOR: on an
+        # oversubscribed runner the feeder may not have flushed in 0.5s.
         fabric.abort()
-        fabric.shutdown(drain_timeout=0.5)
+        fabric.shutdown(drain_timeout=scale_timeout(0.5))
         assert shm_segments() == before
 
     def test_fabric_name_reports_transport(self):

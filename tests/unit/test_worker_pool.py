@@ -21,6 +21,8 @@ from repro.rng.counting import CountingRNG
 from repro.util.errors import BackendError, ValidationError
 from repro.util.timeouts import scale_timeout
 
+pytestmark = pytest.mark.subprocess  # every test spawns a worker fleet
+
 
 # Module-level programs: the dispatch queue pickles them, and unlike
 # closures they stay picklable without cloudpickle.
@@ -146,6 +148,7 @@ class TestPoolReuse:
 
 
 class TestPoolFailure:
+    @pytest.mark.slow
     def test_worker_crash_poisons_pool(self):
         machine = _persistent_machine(2, seed=0)
         try:
