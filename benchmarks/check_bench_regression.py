@@ -26,7 +26,11 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_backends import DISPATCH_POINT, median_seconds  # noqa: E402
+from bench_backends import (  # noqa: E402
+    DISPATCH_POINT,
+    WARM_DRIVER_POINT,
+    median_seconds,
+)
 
 #: The gated cell: big enough that payload movement dominates noise,
 #: p=4 so that it exercises real multi-rank traffic on standard runners.
@@ -49,6 +53,8 @@ def gated_cells(tracked_records):
              and record.get("n") == GATE_N and record.get("p") == GATE_P)
             or (workload == "dispatch"
                 and (record.get("n"), record.get("p")) == DISPATCH_POINT)
+            or (workload == "warm_driver"
+                and (record.get("n"), record.get("p")) == WARM_DRIVER_POINT)
         )
         if point_ok:
             cells.append(record)

@@ -1,0 +1,100 @@
+"""Docs link checker: every internal reference must resolve.
+
+Stdlib-only so it runs in CI next to ``mkdocs build --strict`` *and*
+locally (``tests/unit/test_docs.py``) without the docs toolchain
+installed.  Checks, over ``docs/*.md``, ``README.md`` and ``mkdocs.yml``:
+
+* relative markdown links (``[text](page.md)`` / ``(page.md#anchor)``)
+  point at files that exist, and anchors at headings that exist;
+* absolute-path links into the repository (``benchmarks/...``,
+  ``src/repro/...``) point at files that exist;
+* every page listed in the ``mkdocs.yml`` nav exists, and every page in
+  ``docs/`` is reachable from the nav (no orphans).
+
+Exit code 0 = clean, 1 = at least one broken reference (all reported).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+_LINK = re.compile(r"\[[^\]^]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_NAV_PAGE = re.compile(r"^\s*-\s+(?:[^:]+:\s*)?(\S+\.md)\s*$", re.MULTILINE)
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code (links there are examples)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def _anchor(heading: str) -> str:
+    """mkdocs/GitHub-style slug of one heading."""
+    slug = re.sub(r"[^\w\s-]", "", heading.strip().lower())
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def _anchors_of(path: Path) -> set:
+    return {_anchor(h) for h in _HEADING.findall(path.read_text())}
+
+
+def _check_file(path: Path, errors: list) -> None:
+    text = _strip_code(path.read_text())
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external: checked by humans/CI link services, not here
+        target, _, anchor = target.partition("#")
+        if not target:  # same-page anchor
+            if anchor and _anchor(anchor) not in _anchors_of(path):
+                errors.append(f"{path}: broken same-page anchor #{anchor}")
+            continue
+        base = path.parent if not target.startswith("/") else REPO
+        resolved = (base / target.lstrip("/")).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _anchor(anchor) not in _anchors_of(resolved):
+                errors.append(f"{path}: broken anchor -> {target}#{anchor}")
+
+
+def _check_nav(errors: list) -> None:
+    mkdocs_yml = REPO / "mkdocs.yml"
+    if not mkdocs_yml.exists():
+        errors.append("mkdocs.yml is missing")
+        return
+    nav_pages = set(_NAV_PAGE.findall(mkdocs_yml.read_text()))
+    for page in nav_pages:
+        if not (DOCS / page).exists():
+            errors.append(f"mkdocs.yml: nav entry {page} does not exist")
+    for page in DOCS.glob("*.md"):
+        if page.name not in nav_pages:
+            errors.append(f"docs/{page.name} is not reachable from the nav")
+
+
+def check() -> list:
+    """Run every check; return the list of error strings (empty = clean)."""
+    errors: list = []
+    for path in sorted(DOCS.glob("*.md")) + [REPO / "README.md"]:
+        if path.exists():
+            _check_file(path, errors)
+    _check_nav(errors)
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print(f"BROKEN: {error}")
+    pages = len(list(DOCS.glob('*.md')))
+    print(f"checked {pages} docs pages + README: "
+          f"{'clean' if not errors else f'{len(errors)} broken reference(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

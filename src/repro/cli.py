@@ -46,10 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
              "buffers); rejected for other backends, seed-identical results",
     )
     persistent_kwargs = dict(
-        action="store_true",
-        help="run on a standing worker pool (process backend only): the p "
-             "rank processes and their shared-memory rings are spawned once "
-             "and reused by every run; seed-identical results",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="standing worker pool of the process backend: the p rank "
+             "processes and their shared-memory rings are spawned once and "
+             "reused by every run.  This is the DEFAULT for --backend "
+             "process (warm drivers); --no-persistent forces a cold spawn "
+             "per run; seed-identical results either way",
     )
     schedule_seed_kwargs = dict(
         type=int, default=None, metavar="K",
@@ -132,10 +134,16 @@ def _cmd_permute(args) -> int:
         backend_options["transport"] = args.transport
     if args.schedule_seed is not None:
         backend_options["schedule_seed"] = args.schedule_seed
+    # Warm by default: an unset --persistent means the process backend
+    # runs on a standing pool (spawned once, reused by every --repeats
+    # run); --no-persistent forces the historic cold spawn per run.
+    persistent = args.persistent
+    if persistent is None:
+        persistent = args.backend == "process"
     machine = PROMachine(
         args.procs, seed=args.seed, backend=args.backend,
         backend_options=backend_options,
-        persistent=args.persistent,
+        persistent=persistent,
         count_random_variates=True,
     )
     data = np.arange(args.n, dtype=np.int64)
@@ -149,7 +157,7 @@ def _cmd_permute(args) -> int:
             label = (f"run {iteration + 1}/{repeats}: " if repeats > 1 else "")
             print(f"{label}permuted {args.n} items on {args.procs} virtual processors "
                   f"in {run.wall_clock_seconds * 1e3:.1f} ms (wall clock, "
-                  f"{args.backend}{' persistent' if args.persistent else ''} backend)")
+                  f"{args.backend}{' persistent' if persistent else ''} backend)")
     finally:
         machine.close()
     out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)

@@ -35,7 +35,7 @@ def sample_communication_matrix(
     algorithm: str | None = None,
     backend: str | object | None = None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
     seed=None,
     rng=None,
@@ -74,8 +74,13 @@ def sample_communication_matrix(
         ``"pickle"``); like ``backend``, parallel-path only and
         seed-invariant.
     persistent:
-        Run the parallel path on a standing worker pool (process backend
-        only; see :class:`~repro.pro.backends.pool.WorkerPool`).  Like
+        Standing-fleet control of the process backend (tri-state).  The
+        default ``None`` already runs **warm**: with
+        ``backend="process"`` the call reuses a keyed standing worker
+        fleet from the process-wide default pool cache
+        (:func:`repro.pro.backends.pool.get_default_pool`) instead of
+        spawning ``p`` processes.  ``False`` forces the cold per-call
+        spawn, ``True`` requests the warm fleet explicitly.  Like
         ``backend``, parallel-path only and seed-invariant.
     schedule_seed:
         Rank-interleaving seed of the sim backend (``backend="sim"``;
@@ -100,6 +105,16 @@ def sample_communication_matrix(
     -------
     numpy.ndarray
         The sampled matrix (``int64``).
+
+    Examples
+    --------
+    >>> matrix = sample_communication_matrix([4, 4, 4], seed=0)
+    >>> matrix.sum(axis=0).tolist()
+    [4, 4, 4]
+    >>> parallel = sample_communication_matrix([4, 4, 4], parallel=True,
+    ...                                        backend="thread", seed=0)
+    >>> parallel.shape
+    (3, 3)
     """
     if not parallel:
         strategy = algorithm or "sequential"

@@ -303,7 +303,7 @@ def sample_matrix_parallel(
     algorithm: str = "alg6",
     backend: str | object | None = None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
     seed=None,
     method: str = "auto",
@@ -333,13 +333,16 @@ def sample_matrix_parallel(
         ``"pickle"``); rejected for backends without a transport option and
         for pre-configured machines.  Seed-invariant like ``backend``.
     persistent:
-        Run on a standing worker fleet (the process backend's worker
-        pool).  With no pre-configured ``machine`` the fleet is private to
-        this call and released before returning, so the flag mainly
-        matters for determinism testing here; to actually amortise spawn
-        across calls, build the machine once (``PROMachine(...,
-        persistent=True)`` or :func:`repro.pro.backends.pool.pool`) and
-        pass it as ``machine``.  Seed-invariant like ``backend``.
+        Standing-fleet control of the process backend, tri-state.  The
+        default (``None``) already runs **warm**: with
+        ``backend="process"`` the call borrows a keyed standing worker
+        fleet from the process-wide default pool cache
+        (:func:`repro.pro.backends.pool.get_default_pool`), so repeated
+        calls reuse the same ``p`` rank processes instead of spawning
+        fresh ones.  ``persistent=False`` forces the old cold path
+        (fresh processes for this call only); ``True`` makes the warm
+        request explicit.  Rejected for backends without the option and
+        for pre-configured machines.  Seed-invariant like ``backend``.
     schedule_seed:
         Rank-interleaving seed of the sim backend (``backend="sim"``):
         each value explores a different deterministic schedule, every one
@@ -359,6 +362,14 @@ def sample_matrix_parallel(
     (matrix, run_result):
         The assembled ``p x p'`` matrix and the
         :class:`~repro.pro.machine.RunResult` with per-processor costs.
+
+    Examples
+    --------
+    >>> matrix, run = sample_matrix_parallel([6, 6, 6], seed=0)
+    >>> matrix.sum(axis=1).tolist()
+    [6, 6, 6]
+    >>> run.n_procs
+    3
     """
     rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
     cols = rows if col_sums is None else check_vector_of_nonnegative_ints(col_sums, "col_sums")
@@ -390,7 +401,10 @@ def sample_matrix_parallel(
     try:
         run = machine.run(program, rows, cols, method=method, **extra)
     finally:
-        if owns_machine and persistent:
-            machine.close()  # the fleet was private to this call
+        if owns_machine:
+            # Releases call-private resources only: fleets borrowed from
+            # the process-wide default pool cache stay warm for the next
+            # call (repro.pro.backends.pool owns and reaps those).
+            machine.close()
     matrix = np.vstack([np.asarray(row, dtype=np.int64) for row in run.results])
     return matrix, run

@@ -180,7 +180,7 @@ def permute_distributed(
     method: str = "auto",
     backend: str | object | None = None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
@@ -188,18 +188,29 @@ def permute_distributed(
 
     ``blocks`` is a list with one array per processor.  A machine with
     ``len(blocks)`` processors is created when none is supplied, on
-    ``backend`` (``"thread"`` default; ``"process"`` runs one OS process per
-    rank and yields bit-identical output for the same seed).  ``transport``
-    selects the process backend's payload transport (``"sharedmem"`` or
-    ``"pickle"``; also seed-invariant), and ``persistent`` runs the call on
-    a standing worker pool (private to this call when ``machine`` is
-    omitted -- pass a ``PROMachine(..., persistent=True)`` to amortise the
-    fleet across calls; also seed-invariant), and ``schedule_seed`` picks
-    the sim backend's rank interleaving (``backend="sim"``; every schedule
-    yields the same blocks).  The returned blocks follow
-    ``target_sizes`` (defaulting to the input sizes); the second element of
-    the returned pair is the machine's
+    ``backend`` (``"thread"`` default; ``"process"`` runs one OS process
+    per rank and yields bit-identical output for the same seed).
+    ``transport`` selects the process backend's payload transport
+    (``"sharedmem"`` or ``"pickle"``; also seed-invariant).
+    ``persistent`` is tri-state: the default (``None``) already runs
+    **warm** -- with ``backend="process"`` the call borrows a keyed
+    standing worker fleet from the process-wide default pool cache, so
+    repeated calls skip the per-call process spawn -- while ``False``
+    forces the cold path (fresh processes for this call) and ``True``
+    makes the warm request explicit; all modes are seed-invariant.
+    ``schedule_seed`` picks the sim backend's rank interleaving
+    (``backend="sim"``; every schedule yields the same blocks).  The
+    returned blocks follow ``target_sizes`` (defaulting to the input
+    sizes); the second element of the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> blocks = [np.arange(5), np.arange(5, 10)]
+    >>> out_blocks, run = permute_distributed(blocks, seed=3)
+    >>> sorted(np.concatenate(out_blocks).tolist())
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
     """
     if len(blocks) == 0:
         raise ValidationError("permute_distributed needs at least one block")
@@ -221,8 +232,11 @@ def permute_distributed(
             method=method,
         )
     finally:
-        if owns_machine and persistent:
-            machine.close()  # the fleet was private to this call
+        if owns_machine:
+            # Releases call-private resources only: fleets borrowed from
+            # the process-wide default pool cache stay warm for the next
+            # call (repro.pro.backends.pool owns and reaps those).
+            machine.close()
     return run.results, run
 
 
@@ -235,7 +249,7 @@ def random_permutation(
     method: str = "auto",
     backend: str | object | None = None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
     seed=None,
     distribution: BlockDistribution | None = None,
@@ -246,6 +260,15 @@ def random_permutation(
     ``distribution``), permuted by Algorithm 1 on a PRO machine and glued
     back together.  This is the "just permute my array" entry point of the
     library.
+
+    The machine options mirror :func:`permute_distributed`: ``backend``
+    picks the execution substrate (``"thread"`` default, ``"process"``,
+    ``"sim"``, ``"inline"``), ``transport`` the process backend's payload
+    path (``"sharedmem"``/``"pickle"``), ``persistent`` the standing-fleet
+    mode (``None`` = warm by default on the process backend via the
+    default pool cache, ``False`` = cold spawn, ``True`` = explicit warm)
+    and ``schedule_seed`` the sim backend's rank interleaving.  A fixed
+    ``seed`` is bit-identical across every combination of them.
 
     Examples
     --------
@@ -294,14 +317,23 @@ def random_permutation_indices(
     matrix_algorithm: str = "root",
     backend: str | object | None = None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
 
-    Equivalent to ``random_permutation(np.arange(n), ...)``; this is the form
+    Equivalent to ``random_permutation(np.arange(n), ...)`` and takes the
+    same machine options (``backend=``, ``transport=``, ``persistent=`` --
+    warm by default on the process backend -- and ``schedule_seed=``; a
+    fixed ``seed`` is bit-identical across all of them); this is the form
     the statistical uniformity tests consume.
+
+    Examples
+    --------
+    >>> perm = random_permutation_indices(6, n_procs=2, seed=1)
+    >>> sorted(perm.tolist())
+    [0, 1, 2, 3, 4, 5]
     """
     n = int(n)
     if n < 0:

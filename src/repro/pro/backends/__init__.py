@@ -39,12 +39,17 @@ The process backend additionally takes a *payload transport*
 (``transport="sharedmem" | "pickle"``, see
 :mod:`repro.pro.backends.transport`): the queue fabric carries only small
 control records while bulk NumPy payloads travel through shared-memory
-segments (zero-copy on the receive side) or, with ``"pickle"``, through
-the queue pipe as raw buffers.  With ``persistent=True`` the backend runs
-on a standing :class:`~repro.pro.backends.pool.WorkerPool` of long-lived
-daemon ranks, amortising process spawn and ring setup across runs (the
-module-level :func:`~repro.pro.backends.pool.pool` context manager wraps
-the whole machine lifecycle).
+segments (zero-copy on the receive side, adaptive per-sender rings,
+refcounted multi-consumer argument segments) or, with ``"pickle"``,
+through the queue pipe as raw buffers.  With ``persistent=True`` the
+backend runs on a standing :class:`~repro.pro.backends.pool.WorkerPool`
+of long-lived daemon ranks, amortising process spawn and ring setup
+across runs (the module-level :func:`~repro.pro.backends.pool.pool`
+context manager wraps the whole machine lifecycle).  Driver calls are
+*warm by default*: with ``backend="process"`` they borrow a keyed fleet
+from the process-wide default pool cache
+(:func:`~repro.pro.backends.pool.get_default_pool`) unless
+``persistent=False`` forces the cold path.
 
 See :mod:`repro.pro.backends.registry` for the backend contract (fabric
 semantics, error-propagation rules, transport sub-contract) and for how to

@@ -39,15 +39,16 @@ lambdas.  An unserialisable program raises
 :class:`~repro.util.errors.BackendError` *before* anything is dispatched.
 
 Bulk arguments are encoded through the payload transport once **per
-rank** (each receiver consumes -- and for dedicated segments unlinks --
-its own copy), so a run whose arguments hold the whole input pays
-``p * sizeof(args)`` in movement where a fork inherits them for free.
-With the default ``sharedmem`` transport that is a memcpy per rank and
-the pool still beats cold spawn on the tracked benchmarks; with the
-in-band ``pickle`` transport large-argument workloads can be slower than
-cold fork -- prefer ``sharedmem``, or keep huge constant state out of
-the per-run arguments.  (Multi-consumer segments that would make the
-encode once-per-run are a roadmap item.)
+run**: transports with ``encode_shared`` (the default ``sharedmem``)
+write them into a single refcounted multi-consumer segment that every
+rank attaches -- one memcpy total, unlinked after the last rank's
+acknowledgement -- and purely in-band transports (``pickle``) reuse one
+encoded record for every rank.  Only duck-typed transports with
+out-of-band ``dispose`` but no ``encode_shared`` still pay one encode
+per rank.  A fork still inherits the arguments for free, so with the
+in-band ``pickle`` transport large-argument workloads can be slower
+than cold fork -- prefer ``sharedmem``, or keep huge constant state out
+of the per-run arguments.
 
 Crash semantics
 ---------------
@@ -67,9 +68,12 @@ shared-memory ring segment, so a full lifecycle leaks no segments and no
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
 import queue as _pyqueue
+import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
@@ -78,6 +82,7 @@ from repro.pro.backends.process import (
     _portable_exception,
     _VariateCount,
 )
+from repro.pro.backends.transport import PayloadTransport
 from repro.pro.communicator import Communicator
 from repro.util.errors import BackendError, CommunicationError, ValidationError
 
@@ -86,7 +91,12 @@ try:  # optional: widens program serialisation to closures/lambdas
 except ImportError:  # pragma: no cover - exercised where cloudpickle is absent
     _cloudpickle = None
 
-__all__ = ["WorkerPool", "pool"]
+__all__ = ["WorkerPool", "pool", "get_default_pool", "clear_default_pools",
+           "default_pools"]
+
+#: Result-queue sentinel of a multi-consumer argument-segment receipt
+#: (``(epoch, rank, ok, payload)`` entries carry it in the ``ok`` slot).
+_SHARED_ACK = "__shared-ack__"
 
 
 def _dumps(obj) -> bytes:
@@ -128,12 +138,30 @@ def _pool_worker_main(rank: int, fabric: ProcessFabric, task_queue,
                 fabric.transport.ring_ack(receipt)
             except Exception:  # pragma: no cover - acks are best effort
                 pass
+        # With the receipts applied the ring is in its settled state:
+        # let the transport close the previous traffic epoch and adapt
+        # the ring's logical capacity before this run's sends.
+        fabric.begin_epoch(rank)
         try:
             program = pickle.loads(program_blob)
             # Bulk arguments travel out-of-band through the payload
             # transport (the control record above stays small); with the
-            # shared-memory transport the worker gets zero-copy views.
-            args, kwargs = fabric.transport.decode(args_record)
+            # shared-memory transport the worker gets zero-copy views of
+            # the run's shared multi-consumer segment.  The attach receipt
+            # the decode fires goes straight back to the parent on the
+            # result queue, so the segment can be unlinked as soon as the
+            # last rank holds a mapping.
+            def _args_ack(receipt, _rank=rank):
+                try:
+                    result_queue.put((None, _rank, _SHARED_ACK, receipt))
+                except Exception:  # pragma: no cover - queue already closed
+                    pass
+
+            if fabric._ack_aware:
+                args, kwargs = fabric.transport.decode(args_record,
+                                                       ack=_args_ack)
+            else:
+                args, kwargs = fabric.transport.decode(args_record)
             # Rebuild the context around the standing fabric: communicator
             # state (parked messages, collective counters) starts fresh
             # every epoch, exactly as in the one-shot backend.
@@ -188,6 +216,15 @@ class WorkerPool:
         self.n_procs = int(n_procs)
         self.timeout = float(timeout)
         self.shutdown_grace = float(shutdown_grace)
+        #: Process that spawned the fleet: only it may run or reap the
+        #: workers (a forked child inherits this object but must not
+        #: touch the parent's processes -- see :meth:`run`/:meth:`close`).
+        self._owner_pid = os.getpid()
+        #: One run at a time: the fleet shares a single result queue and
+        #: epoch counter, so concurrent ``run()`` calls (e.g. two threads
+        #: hitting the same default-cache fleet) serialise here instead
+        #: of corrupting each other's dispatch.
+        self._run_lock = threading.Lock()
         self.fabric = ProcessFabric(n_procs, timeout=timeout, mp_context=mp,
                                     transport=transport)
         self._task_queues = [mp.Queue() for _ in range(n_procs)]
@@ -228,6 +265,11 @@ class WorkerPool:
         if self._poison_reason is None:
             self._poison_reason = reason
 
+    @property
+    def in_owner_process(self) -> bool:
+        """True in the process that spawned (and may drive) the fleet."""
+        return self._owner_pid == os.getpid()
+
     def worker_pids(self) -> list[int]:
         """PIDs of the standing ranks (stable across runs; for tests)."""
         return [proc.pid for proc in self._workers]
@@ -235,7 +277,24 @@ class WorkerPool:
     # -- running ------------------------------------------------------------
     def run(self, contexts: Sequence, program: Callable, args: tuple,
             kwargs: dict) -> list:
-        """Dispatch one run-epoch to the standing ranks and collect results."""
+        """Dispatch one run-epoch to the standing ranks and collect results.
+
+        Serialised by a per-pool lock: the fleet has one result queue and
+        one epoch counter, so exactly one run is in flight at a time (a
+        second thread's call queues behind the first -- relevant now that
+        driver calls share fleets through the default cache).
+        """
+        if not self.in_owner_process:
+            raise BackendError(
+                f"this worker pool belongs to process {self._owner_pid}; a "
+                "forked process must build its own machine (the default "
+                "pool cache does this automatically)"
+            )
+        with self._run_lock:
+            return self._run_locked(contexts, program, args, kwargs)
+
+    def _run_locked(self, contexts: Sequence, program: Callable, args: tuple,
+                    kwargs: dict) -> list:
         if self._closed:
             raise BackendError("the worker pool is closed; build a new machine")
         if self._poison_reason is not None:
@@ -264,21 +323,23 @@ class WorkerPool:
         # before any rank has been dispatched (handing raw objects to the
         # queue would defer pickling to its feeder thread, turning the
         # same failure into a hang).  Bulk array arguments travel
-        # out-of-band through the payload transport -- one encode per
-        # rank, since each receiver consumes (and for dedicated segments
-        # unlinks) its own copy -- so the queued control record stays
-        # small.
+        # out-of-band through the payload transport, encoded once **per
+        # run**: ``encode_shared`` puts them in one refcounted
+        # multi-consumer segment every rank attaches, and purely in-band
+        # records are reused verbatim for every rank.  Only duck-typed
+        # transports with out-of-band dispose but no ``encode_shared``
+        # still pay one encode per rank.
         args_records: list = []
         task_blobs: list = []
+        transport = self.fabric.transport
         try:
             program_blob = _dumps(program)
+            args_records = self._encode_args(transport, (args, kwargs), n)
             for rank in range(n):
                 ctx = contexts[rank]
-                args_record = self.fabric.transport.encode((args, kwargs))
-                args_records.append(args_record)
                 task_blobs.append(_dumps(
                     (epoch, receipts.get(rank, []), ctx.rng, ctx.cost,
-                     program_blob, args_record)
+                     program_blob, args_records[rank])
                 ))
         except Exception as exc:
             for record in args_records:
@@ -343,6 +404,30 @@ class WorkerPool:
                 contexts[rank].rng = _VariateCount(variates)
         return results
 
+    @staticmethod
+    def _encode_args(transport, payload, n: int) -> list:
+        """Encode one run's bulk arguments for ``n`` ranks -- once if possible.
+
+        Preference order: ``encode_shared`` (one refcounted multi-consumer
+        record, accepted unless the transport declines with ``None``);
+        one plain record reused for every rank when the transport is
+        purely in-band (its ``dispose`` is the base-class no-op, so a
+        record holds no single-consumer resources); per-rank ``encode``
+        otherwise.  The returned list always has ``n`` entries (repeated
+        for the shared cases) so failure paths can dispose each queued
+        copy uniformly.
+        """
+        encode_shared = getattr(transport, "encode_shared", None)
+        if encode_shared is not None:
+            record = encode_shared(payload, n)
+            if record is not None:
+                return [record] * n
+        in_band = (isinstance(transport, PayloadTransport)
+                   and type(transport).dispose is PayloadTransport.dispose)
+        if in_band:
+            return [transport.encode(payload)] * n
+        return [transport.encode(payload) for _ in range(n)]
+
     def _drain_receipts(self) -> dict:
         """Pending ring receipts grouped by the owning rank."""
         drained = []
@@ -391,6 +476,14 @@ class WorkerPool:
                 continue
             except Exception:  # pragma: no cover - truncated pickle after a kill
                 continue
+            if ok == _SHARED_ACK:
+                # A rank attached the run's shared argument segment: apply
+                # the receipt so the segment is unlinked after the last one.
+                try:
+                    self.fabric.transport.ring_ack(payload)
+                except Exception:  # pragma: no cover - acks are best effort
+                    pass
+                continue
             if e != epoch:
                 # Straggler from an earlier (failed) epoch: release any
                 # out-of-band resources and ignore it.
@@ -405,11 +498,37 @@ class WorkerPool:
 
     # -- shutdown -----------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and release every fabric resource (idempotent)."""
+        """Stop the workers and release every fabric resource (idempotent).
+
+        Serialises with :meth:`run`: an eviction from the default cache
+        (LRU overflow, poison healing, ``clear_default_pools``) must not
+        tear the fabric down under a run another thread still has in
+        flight.  The wait is bounded -- if the in-flight run does not
+        finish within the grace window (e.g. a hung fleet at interpreter
+        exit), teardown proceeds anyway rather than hanging shutdown.
+
+        In a forked copy of the owning process this only marks the local
+        handle closed: joining or terminating the workers (and draining
+        the queues) is the owner's job, and CPython refuses to join
+        another process's children anyway.
+        """
         if self._closed:
             return
-        self._closed = True
-        atexit.unregister(self.close)
+        locked = self._run_lock.acquire(timeout=2.0 * self.shutdown_grace)
+        try:
+            if self._closed:
+                return
+            self._closed = True
+            atexit.unregister(self.close)
+            if not self.in_owner_process:
+                return  # inherited handle: the owner reaps the resources
+            self._close_resources()
+        finally:
+            if locked:
+                self._run_lock.release()
+
+    def _close_resources(self) -> None:
+        """Teardown body of :meth:`close` (runs in the owner process)."""
         for task_queue in self._task_queues:
             try:
                 task_queue.put(None)
@@ -442,7 +561,12 @@ class WorkerPool:
                 _e, _rank, ok, payload = self._result_queue.get_nowait()
             except Exception:
                 break
-            if ok:
+            if ok == _SHARED_ACK:
+                try:
+                    self.fabric.transport.ring_ack(payload)
+                except Exception:
+                    pass
+            elif ok:
                 try:
                     self.fabric.transport.dispose(payload[0])
                 except Exception:
@@ -465,6 +589,145 @@ class WorkerPool:
         state = ("closed" if self._closed
                  else "poisoned" if self.poisoned else "live")
         return f"WorkerPool(n_procs={self.n_procs}, {state})"
+
+
+# ----------------------------------------------------------------------------
+# Process-wide default pool cache: warm-by-default drivers
+# ----------------------------------------------------------------------------
+# The driver layer (sample_matrix_parallel, permute_distributed,
+# random_permutation(_indices), sample_communication_matrix) builds a fresh
+# machine per call; with backend="process" that used to mean p process
+# spawns per call.  The default cache below makes repeated driver calls
+# warm *by default*: machines whose process backend is created with
+# pool_scope="process" borrow a keyed standing fleet from here instead of
+# spawning their own, and the fleet outlives the call.  Keys capture
+# everything that makes two fleets interchangeable -- rank count,
+# transport configuration (via transport.cache_key()), communication
+# timeout and multiprocessing start method.  Determinism is untouched:
+# per-rank streams are still built by each machine per run, so a fixed
+# seed is bit-identical warm or cold.
+
+#: key -> WorkerPool, in least-recently-used order (front = coldest).
+_DEFAULT_POOLS: "OrderedDict[tuple, WorkerPool]" = OrderedDict()
+#: Guards the cache dict itself; each pool's run() has its own lock.
+_DEFAULT_POOLS_LOCK = threading.Lock()
+#: Standing fleets kept warm at once; the least recently used fleet is
+#: closed when the cache grows past this (override with the
+#: REPRO_DEFAULT_POOL_CAP environment variable).
+_DEFAULT_POOL_CAP = 4
+
+
+def _default_pool_cap() -> int:
+    try:
+        return max(int(os.environ.get("REPRO_DEFAULT_POOL_CAP", "")), 1)
+    except ValueError:
+        return _DEFAULT_POOL_CAP
+
+
+def _default_pool_key(n_procs, transport, timeout, start_method):
+    """Cache key of one warm fleet, or ``None`` when not shareable."""
+    key_fn = getattr(transport, "cache_key", None)
+    if key_fn is None:
+        return None
+    try:
+        transport_key = key_fn()
+    except Exception:
+        return None
+    if transport_key is None:
+        return None
+    return (int(n_procs), transport_key, float(timeout), start_method)
+
+
+def get_default_pool(n_procs: int, *, timeout: float = 60.0, mp_context=None,
+                     transport=None, shutdown_grace: float = 5.0,
+                     start_method: str | None = None) -> "WorkerPool | None":
+    """The process-wide warm :class:`WorkerPool` for this configuration.
+
+    Returns the cached standing fleet when one exists for the key
+    ``(n_procs, transport.cache_key(), timeout, start_method)``; a closed
+    or *poisoned* cached fleet is evicted, closed and replaced by a fresh
+    spawn (poison-on-failure eviction), so a crashed run degrades one call
+    and heals itself.  Returns ``None`` -- the caller should keep a
+    private pool -- when the transport opts out of cache keying.
+
+    The cache holds at most ``REPRO_DEFAULT_POOL_CAP`` (default 4) fleets;
+    the least recently used one is closed on overflow.  All cached fleets
+    are released by :func:`clear_default_pools`, which also runs at
+    interpreter exit.
+
+    Examples
+    --------
+    >>> from repro.core.permutation import random_permutation
+    >>> import numpy as np
+    >>> out = random_permutation(np.arange(64), n_procs=2, backend="process",
+    ...                          seed=0)   # first call spawns the fleet...
+    >>> out = random_permutation(np.arange(64), n_procs=2, backend="process",
+    ...                          seed=0)   # ...later calls reuse it warm
+    >>> from repro.pro.backends.pool import clear_default_pools
+    >>> clear_default_pools()              # explicit teardown (atexit does too)
+    """
+    key = _default_pool_key(n_procs, transport, timeout, start_method)
+    if key is None:
+        return None
+    evicted: list = []
+    with _DEFAULT_POOLS_LOCK:
+        pool = _DEFAULT_POOLS.get(key)
+        if (pool is not None and pool.in_owner_process
+                and not pool.closed and not pool.poisoned):
+            _DEFAULT_POOLS.move_to_end(key)
+            return pool
+        if pool is not None:
+            # Closed, poisoned, or inherited across a fork (this process
+            # does not own those workers): drop the handle and respawn.
+            _DEFAULT_POOLS.pop(key, None)
+            evicted.append(pool)
+        pool = WorkerPool(n_procs, timeout=timeout, mp_context=mp_context,
+                          transport=transport, shutdown_grace=shutdown_grace)
+        _DEFAULT_POOLS[key] = pool
+        cap = _default_pool_cap()
+        while len(_DEFAULT_POOLS) > cap:
+            _key, coldest = _DEFAULT_POOLS.popitem(last=False)
+            evicted.append(coldest)
+    # Teardown happens outside the cache lock: closing a fleet waits for
+    # (and may grace-join) its workers, and no other driver call should
+    # stall on the global lock behind that.
+    for old in evicted:
+        try:
+            old.close()  # no-op beyond bookkeeping in a forked child
+        except Exception:  # pragma: no cover - eviction is best effort
+            pass
+    return pool
+
+
+def clear_default_pools() -> None:
+    """Close every fleet in the process-wide default pool cache.
+
+    Idempotent, registered with ``atexit``, and safe to call between
+    measurements or tests to force the next driver call back onto the
+    cold path.  Fleets currently borrowed by a live machine are closed
+    too (their next ``run()`` raises ``BackendError``); build a new
+    machine -- or just call the driver again -- to respawn.  In a forked
+    child the inherited handles are only dropped -- the owning process
+    reaps the actual workers.
+    """
+    drained: list = []
+    with _DEFAULT_POOLS_LOCK:
+        while _DEFAULT_POOLS:
+            drained.append(_DEFAULT_POOLS.popitem()[1])
+    for pool in drained:
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - teardown is best effort
+            pass
+
+
+def default_pools() -> dict:
+    """Snapshot of the default pool cache (key -> pool; for tests/tools)."""
+    with _DEFAULT_POOLS_LOCK:
+        return dict(_DEFAULT_POOLS)
+
+
+atexit.register(clear_default_pools)
 
 
 @contextmanager

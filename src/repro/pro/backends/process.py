@@ -186,6 +186,25 @@ class ProcessFabric:
                 return self.transport.decode(record, ack=ack)
         return self.transport.decode(record)
 
+    def begin_epoch(self, rank: int) -> None:
+        """Open a run-epoch for rank ``rank``'s sender ring (adaptive hook).
+
+        Persistent-pool workers call this at the start of every dispatched
+        run, *after* applying the receipts the dispatch batched in, so the
+        transport sees the ring in its settled state and can adapt its
+        logical capacity to the previous epoch's traffic.  A no-op for
+        transports without rings.
+        """
+        if self._ring_names is None:
+            return
+        hook = getattr(self.transport, "ring_epoch", None)
+        if hook is None:
+            return
+        try:
+            hook(self._ring_names[rank])
+        except Exception:  # pragma: no cover - adaptation is best effort
+            pass
+
     def _scoped(self, tag):
         """Wrap ``tag`` with the current run-epoch on standing fabrics."""
         return tag if self.epoch is None else (self.epoch, tag)
@@ -293,6 +312,12 @@ class ProcessFabric:
                 self.transport.retire_rings(self._ring_names)
             except Exception:  # pragma: no cover - retirement is best effort
                 pass
+        retire_shared = getattr(self.transport, "retire_shared", None)
+        if retire_shared is not None:
+            try:
+                retire_shared()  # multi-consumer segments abandoned mid-run
+            except Exception:  # pragma: no cover - retirement is best effort
+                pass
         for inbox in self._inboxes:
             inbox.close()
             inbox.cancel_join_thread()
@@ -385,6 +410,16 @@ class ProcessBackend(ExecutionBackend):
         machine seed.  Call :meth:`close` (or let the pool's ``atexit``
         hook run) to release the workers; a failed run *poisons* the pool
         and subsequent runs raise :class:`~repro.util.errors.BackendError`.
+    pool_scope:
+        Where persistent pools live.  ``"backend"`` (default): private to
+        this backend instance, released by :meth:`close`.  ``"process"``:
+        the **process-wide default pool cache**
+        (:func:`repro.pro.backends.pool.get_default_pool`) -- warm fleets
+        keyed by ``(p, transport, timeout, start method)`` are shared by
+        every backend instance that asks, survive :meth:`close`, and are
+        torn down by :func:`repro.pro.backends.pool.clear_default_pools`
+        or at interpreter exit.  This is what makes repeated driver calls
+        (``backend="process"``) warm by default.
     """
 
     name = "process"
@@ -397,7 +432,7 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(self, *, start_method: str | None = None, shutdown_grace: float = 5.0,
                  transport: str | PayloadTransport | None = "sharedmem",
-                 persistent: bool = False):
+                 persistent: bool = False, pool_scope: str = "backend"):
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
@@ -406,17 +441,50 @@ class ProcessBackend(ExecutionBackend):
                 f"start method {start_method!r} is not available on this platform; "
                 f"choose from {methods}"
             )
+        if pool_scope not in ("backend", "process"):
+            raise ValidationError(
+                f"pool_scope must be 'backend' or 'process', got {pool_scope!r}"
+            )
         self.start_method = start_method
         self.shutdown_grace = float(shutdown_grace)
         self.transport = resolve_transport(transport)
         self.persistent = bool(persistent)
+        self.pool_scope = pool_scope
         self._mp = multiprocessing.get_context(start_method)
         self._pools: dict = {}  # n_procs -> WorkerPool
+        self._shared_pools: set = set()  # n_procs owned by the default cache
 
     def _pool(self, n_procs: int, *, timeout: float):
-        """The standing pool for ``n_procs`` ranks, created on first use."""
-        from repro.pro.backends.pool import WorkerPool
+        """The standing pool for ``n_procs`` ranks, created on first use.
 
+        With ``pool_scope="process"`` the pool comes from (and is owned
+        by) the process-wide default cache, so several backend instances
+        with an equivalent configuration share one warm fleet; a
+        transport that opts out of cache keying (``cache_key() is None``)
+        falls back to a backend-private pool.
+        """
+        # (imported from the submodule directly: the package __init__
+        # re-exports the pool() context manager under the same name)
+        from repro.pro.backends.pool import WorkerPool, get_default_pool
+
+        if self.pool_scope == "process":
+            # Always resolved through the cache (no local fast path): the
+            # lookup refreshes the fleet's LRU recency and applies the
+            # cache's health checks (poison eviction, fork ownership).
+            shared = get_default_pool(
+                n_procs, timeout=timeout, mp_context=self._mp,
+                transport=self.transport, shutdown_grace=self.shutdown_grace,
+                start_method=self.start_method,
+            )
+            if shared is not None:
+                self._pools[n_procs] = shared
+                self._shared_pools.add(n_procs)
+                return shared
+        existing = self._pools.get(n_procs)
+        if (existing is not None and not existing.closed
+                and not existing.poisoned
+                and getattr(existing, "in_owner_process", True)):
+            return existing
         pool = self._pools.get(n_procs)
         if pool is None or pool.closed:
             pool = WorkerPool(
@@ -424,13 +492,21 @@ class ProcessBackend(ExecutionBackend):
                 transport=self.transport, shutdown_grace=self.shutdown_grace,
             )
             self._pools[n_procs] = pool
+            self._shared_pools.discard(n_procs)
         return pool
 
     def close(self) -> None:
-        """Shut down every standing worker pool (idempotent)."""
-        for pool in list(self._pools.values()):
-            pool.close()
+        """Shut down every backend-private worker pool (idempotent).
+
+        Pools borrowed from the process-wide default cache are left warm
+        -- they are owned by :mod:`repro.pro.backends.pool` and released
+        by ``clear_default_pools()`` or the interpreter-exit hook.
+        """
+        for n_procs, pool in list(self._pools.items()):
+            if n_procs not in self._shared_pools:
+                pool.close()
         self._pools.clear()
+        self._shared_pools.clear()
 
     def create_fabric(self, n_procs: int, *, timeout: float) -> ProcessFabric:
         """Build (or, when persistent, reuse) the multiprocess message fabric."""

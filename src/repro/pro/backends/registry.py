@@ -79,6 +79,15 @@ backend's :class:`~repro.pro.backends.pool.WorkerPool`:
   ``PROMachine.close`` and an ``atexit`` hook) that releases every
   out-of-band resource the fleet held.
 
+A backend may additionally accept ``pool_scope="process"`` to borrow its
+fleets from the process-wide default pool cache
+(:func:`repro.pro.backends.pool.get_default_pool`) instead of keeping
+private ones -- this is what makes the drivers' repeated
+``backend="process"`` calls warm by default.  Shared fleets survive the
+backend's ``close()`` (the cache owns them: poison-on-failure eviction,
+LRU cap, ``clear_default_pools()`` plus an ``atexit`` hook), and the
+transport's ``cache_key()`` decides which configurations may share one.
+
 Registering a backend
 ---------------------
 ::

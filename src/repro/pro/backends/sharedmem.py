@@ -17,17 +17,26 @@ of every bulk NumPy payload travel through a
   (a :class:`weakref.finalize` per view), so receivers can hold results
   for as long as they like without leaking.
 
+* **Multi-consumer dispatch** (``encode_shared``): the worker pool's bulk
+  run arguments are written into **one refcounted segment per run** (not
+  one copy per rank); every rank attaches it, acknowledges the attach
+  through the pool's result channel, and the encoder unlinks the name
+  after the last acknowledgement -- mappings (and hence the zero-copy
+  views) stay valid until each receiver's views die.
+
 Lifecycle discipline
 --------------------
 CPython's ``resource_tracker`` pairs a *register* on segment creation with
 an *unregister* inside :meth:`SharedMemory.unlink`; all fabric processes
 share one tracker (the file descriptor is inherited by both ``fork`` and
 ``spawn`` children), so the invariant the transport maintains is simply
-**exactly one unlink per segment**: the receiver unlinks on decode, and
-records that are never decoded are unlinked by ``dispose`` when the fabric
-drains its queues on shutdown/abort/timeout paths.  A segment abandoned by
-a hard-crashed run is the one case left to the tracker's exit-time cleanup
-(which is exactly what the tracker is for).
+**exactly one unlink per segment**: the receiver unlinks on decode (the
+*encoder* does, after the last consumer's ack, for multi-consumer
+segments), and records that are never decoded are unlinked by ``dispose``
+when the fabric drains its queues on shutdown/abort/timeout paths
+(``retire_shared`` covers multi-consumer segments abandoned mid-run).  A
+segment abandoned by a hard-crashed run is the one case left to the
+tracker's exit-time cleanup (which is exactly what the tracker is for).
 
 When shared memory is unavailable (no ``/dev/shm``, permissions, exotic
 platforms) the transport degrades transparently to the pickle codec; the
@@ -42,10 +51,12 @@ import weakref
 import numpy as np
 
 from repro.pro.backends.transport import (
+    SHMMULTI,
     SHMREF,
     SHMRING,
     SHMSEG,
     PayloadTransport,
+    TransportStats,
     register_transport,
     walk_decode,
     walk_encode,
@@ -157,28 +168,87 @@ class _SegmentLease:
 _SENDER_RINGS: dict = {}
 #: (pid, name) -> _RingAttachment, private to the attaching process.
 _ATTACHED_RINGS: dict = {}
+#: Second element of a multi-consumer attach receipt (distinguishes it
+#: from a ring receipt, whose second element is an integer slot end).
+_MULTI_TOKEN = "multi"
+
+
+def _unlink_by_name(name: str) -> None:
+    """Unlink the segment called ``name`` if it still exists (best effort)."""
+    if _shm_module is None:  # pragma: no cover
+        return
+    try:
+        seg = _shm_module.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - double delivery race
+        pass
+    seg.close()
+
+
+#: Ring growth/shrink factor of the adaptive geometry.
+_RING_GROWTH = 2
+#: Consecutive quiet epochs (peak demand under a quarter of the capacity)
+#: before the logical capacity is halved.
+_RING_SHRINK_PATIENCE = 3
 
 
 class _SenderRing:
-    """The sender side of one ring segment: a circular slot allocator."""
+    """The sender side of one ring segment: a circular slot allocator.
 
-    __slots__ = ("shm", "capacity", "head", "tail", "_slots",
-                 "reclaimed_bytes", "wraps")
+    The *physical* segment size is fixed at creation, but the allocator
+    cycles through a **logical capacity** that may be smaller: tmpfs pages
+    are committed lazily on first write, so bounding the bytes the ring
+    actually cycles through bounds its resident memory.  The logical
+    capacity *adapts*: :meth:`end_epoch` (called by persistent-pool
+    workers at every run boundary) grows it -- up to the physical size --
+    when the previous epoch's traffic did not fit, and shrinks it back
+    after several quiet epochs.  Geometry only ever changes while the ring
+    is empty (every slot acked), because outstanding slots pin their
+    physical positions.
+    """
 
-    def __init__(self, shm):
+    __slots__ = ("shm", "capacity", "max_capacity", "min_capacity",
+                 "head", "tail", "_slots", "reclaimed_bytes", "wraps",
+                 "resizes", "epoch_demand", "epoch_fallbacks",
+                 "_quiet_epochs")
+
+    def __init__(self, shm, *, capacity: int | None = None,
+                 min_capacity: int | None = None):
         self.shm = shm
         # Physical offsets repeat modulo the capacity; keep it slot-aligned
         # so wrapped slots stay aligned too.
         if shm.size >= _ALIGN:
-            self.capacity = shm.size - shm.size % _ALIGN
+            self.max_capacity = shm.size - shm.size % _ALIGN
         else:
-            self.capacity = shm.size
+            self.max_capacity = shm.size
+        if capacity is None:
+            self.capacity = self.max_capacity
+        else:
+            capacity = min(int(capacity), self.max_capacity)
+            if capacity >= _ALIGN:
+                capacity -= capacity % _ALIGN
+            self.capacity = max(capacity, 1)
+        if min_capacity is None:
+            self.min_capacity = self.capacity
+        else:
+            self.min_capacity = max(min(int(min_capacity), self.capacity), 1)
         self.head = 0  # virtual offset of the next write
         self.tail = 0  # virtual offset of the oldest unacked byte
         # Outstanding slots in allocation order: [virtual_end, acked].
         self._slots: list = []
         self.reclaimed_bytes = 0  # observability / tests
         self.wraps = 0
+        self.resizes = 0
+        #: Peak bytes the current epoch needed live at once (outstanding
+        #: span or single-message size, whichever was larger).
+        self.epoch_demand = 0
+        #: Allocations the current epoch refused (degraded to dedicated
+        #: segments).
+        self.epoch_fallbacks = 0
+        self._quiet_epochs = 0
 
     def allocate(self, nbytes: int) -> tuple[int, int] | None:
         """Reserve ``nbytes`` contiguously; return (physical_start, receipt).
@@ -189,6 +259,8 @@ class _SenderRing:
         """
         aligned = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
         if aligned > self.capacity:
+            self.epoch_fallbacks += 1
+            self.epoch_demand = max(self.epoch_demand, aligned)
             return None
         start = self.head
         position = start % self.capacity
@@ -205,12 +277,61 @@ class _SenderRing:
             position = 0
         end = start + aligned
         if end - self.tail > self.capacity:
+            self.epoch_fallbacks += 1
+            self.epoch_demand = max(self.epoch_demand, aligned)
             return None
         if wrapped:
             self.wraps += 1
         self.head = end
         self._slots.append([end, False])
+        self.epoch_demand = max(self.epoch_demand, end - self.tail)
         return position, end
+
+    def end_epoch(self) -> int:
+        """Close one traffic epoch; adapt the logical capacity; return it.
+
+        Grows (by doubling, clamped to the physical segment) when the
+        epoch had any refused allocation whose demand a bigger ring would
+        have served, and shrinks (by halving, floored at ``min_capacity``)
+        after :data:`_RING_SHRINK_PATIENCE` consecutive epochs whose peak
+        demand used under a quarter of the capacity.  A ring with
+        outstanding slots keeps its geometry and carries the epoch's
+        statistics forward.
+        """
+        if self.head != self.tail:  # outstanding slots pin the geometry
+            return self.capacity
+        demand, fallbacks = self.epoch_demand, self.epoch_fallbacks
+        self.epoch_demand = 0
+        self.epoch_fallbacks = 0
+        if fallbacks and self.capacity < self.max_capacity:
+            target = self.capacity * _RING_GROWTH
+            while target < demand:
+                target *= _RING_GROWTH
+            self._resize(min(target, self.max_capacity))
+            self._quiet_epochs = 0
+        elif demand * 4 <= self.capacity and self.capacity > self.min_capacity:
+            self._quiet_epochs += 1
+            if self._quiet_epochs >= _RING_SHRINK_PATIENCE:
+                self._resize(max(self.capacity // _RING_GROWTH,
+                                 self.min_capacity))
+                self._quiet_epochs = 0
+        else:
+            self._quiet_epochs = 0
+        return self.capacity
+
+    def _resize(self, target: int) -> None:
+        """Set a new logical capacity (only ever called on an empty ring)."""
+        if target >= _ALIGN:
+            target -= target % _ALIGN
+        target = max(min(target, self.max_capacity), 1)
+        if target == self.capacity:
+            return
+        self.capacity = target
+        # The ring is empty, so the virtual space can restart at zero;
+        # stale receipts for pre-resize slots find no matching slot and
+        # are ignored by ack() as usual.
+        self.head = self.tail = 0
+        self.resizes += 1
 
     def ack(self, receipt: int) -> None:
         """Mark the slot ending at virtual offset ``receipt`` as consumed."""
@@ -259,16 +380,33 @@ class _RingAttachment:
                 pass
 
 
-def _sender_ring(name: str, ring_bytes: int) -> "_SenderRing | None":
-    """This process's sender ring called ``name``, created on first use."""
+def _sender_ring(name: str, ring_bytes: int, *, max_bytes: int | None = None,
+                 min_bytes: int | None = None) -> "_SenderRing | None":
+    """This process's sender ring called ``name``, created on first use.
+
+    The physical segment is sized ``max_bytes`` (tmpfs commits pages
+    lazily, so headroom for adaptive growth is free until written) with
+    the logical capacity starting at ``ring_bytes``; when the bigger
+    segment cannot be created the ring falls back to a fixed-geometry
+    segment of ``ring_bytes``.
+    """
     key = (os.getpid(), name)
     ring = _SENDER_RINGS.get(key)
     if ring is None:
+        size = max(max_bytes or ring_bytes, ring_bytes)
+        shm = None
         try:
-            shm = _shm_module.SharedMemory(name=name, create=True, size=ring_bytes)
+            shm = _shm_module.SharedMemory(name=name, create=True, size=size)
         except Exception:
-            return None
-        ring = _SenderRing(shm)
+            if size > ring_bytes:
+                try:
+                    shm = _shm_module.SharedMemory(name=name, create=True,
+                                                   size=ring_bytes)
+                except Exception:
+                    return None
+            else:
+                return None
+        ring = _SenderRing(shm, capacity=ring_bytes, min_capacity=min_bytes)
         _SENDER_RINGS[key] = ring
     return ring
 
@@ -325,22 +463,37 @@ class SharedMemoryTransport(PayloadTransport):
         of 8 KiB keeps control traffic on the fast path while every block
         of a realistically sized permutation goes zero-copy.
     ring_bytes:
-        Capacity of one per-sender ring segment (default 32 MiB; the pages
-        are allocated lazily by the kernel, so an oversized ring costs
-        only what a run actually ships).  The ring wraps around: receiver
-        acknowledgements (flowing back on the fabric's control channel
-        once the zero-copy views of a slot are garbage collected) let the
-        allocator reclaim consumed slots, so sustained traffic cycles
-        through the buffer indefinitely.  A message that cannot be placed
-        -- outstanding unacknowledged slots still cover the ring -- uses a
-        dedicated per-message segment instead.
+        Initial *logical* capacity of one per-sender ring segment (default
+        32 MiB).  The ring wraps around: receiver acknowledgements
+        (flowing back on the fabric's control channel once the zero-copy
+        views of a slot are garbage collected) let the allocator reclaim
+        consumed slots, so sustained traffic cycles through the buffer
+        indefinitely.  A message that cannot be placed -- outstanding
+        unacknowledged slots still cover the ring -- uses a dedicated
+        per-message segment instead.
+    ring_max_bytes:
+        Physical size of the ring segment, and the ceiling of adaptive
+        growth (default ``8 * ring_bytes``).  tmpfs commits pages lazily,
+        so the headroom is free until traffic actually needs it.
+    ring_min_bytes:
+        Floor of adaptive shrinking (default ``ring_bytes // 32``, at
+        least one alignment unit).
+    adaptive_ring:
+        When True (default), persistent-pool workers adapt each ring's
+        logical capacity at run boundaries: epochs whose traffic did not
+        fit grow the ring (killing the oversize-segment fallback for
+        steady workloads), sustained quiet epochs shrink it back.  Set
+        False to pin the geometry at ``ring_bytes``.
     """
 
     name = "sharedmem"
     #: Tells the fabric to start the shared resource tracker pre-fork.
     uses_shared_memory = True
 
-    def __init__(self, *, min_bytes: int = 8192, ring_bytes: int = 32 * 1024 * 1024):
+    def __init__(self, *, min_bytes: int = 8192, ring_bytes: int = 32 * 1024 * 1024,
+                 ring_max_bytes: int | None = None,
+                 ring_min_bytes: int | None = None,
+                 adaptive_ring: bool = True):
         self.min_bytes = int(min_bytes)
         self.ring_bytes = int(ring_bytes)
         if self.min_bytes < 1:
@@ -351,12 +504,32 @@ class SharedMemoryTransport(PayloadTransport):
             raise ValidationError(
                 f"ring_bytes must be >= 1, got {self.ring_bytes}"
             )
+        self.adaptive_ring = bool(adaptive_ring)
+        if ring_max_bytes is None:
+            ring_max_bytes = 8 * self.ring_bytes if self.adaptive_ring else self.ring_bytes
+        self.ring_max_bytes = int(ring_max_bytes)
+        if self.ring_max_bytes < self.ring_bytes:
+            raise ValidationError(
+                f"ring_max_bytes must be >= ring_bytes, got {self.ring_max_bytes}"
+            )
+        if ring_min_bytes is None:
+            ring_min_bytes = max(self.ring_bytes // 32, _ALIGN)
+        self.ring_min_bytes = max(int(ring_min_bytes), 1)
+        #: Monotonic per-instance counters (see TransportStats); tests and
+        #: the bench harness assert the once-per-run encode and the
+        #: adaptive ring's fallback behaviour through these.
+        self.stats = TransportStats()
+        #: (creator pid, segment name) -> remaining consumer count of the
+        #: multi-consumer segments this instance encoded (parent side).
+        self._multi: dict = {}
+
+    def cache_key(self) -> tuple:
+        return ("sharedmem", self.min_bytes, self.ring_bytes,
+                self.ring_max_bytes, self.ring_min_bytes, self.adaptive_ring)
 
     # -- encoding -----------------------------------------------------------
-    def encode(self, payload, *, ring: str | None = None):
-        if not shared_memory_available():
-            return walk_encode(payload, lambda arr: None)
-
+    def _pack(self, payload):
+        """Walk ``payload`` claiming bulk arrays: (slabs, offsets, cursor, inner)."""
         slabs: list[np.ndarray] = []
         offsets: list[int] = []
         cursor = 0
@@ -374,31 +547,22 @@ class SharedMemoryTransport(PayloadTransport):
             return (SHMREF, len(slabs) - 1, contiguous.dtype, arr.shape)
 
         inner = walk_encode(payload, claim)
-        if not slabs:
-            return inner
+        return slabs, offsets, cursor, inner
 
-        if ring is not None:
-            sender = _sender_ring(ring, self.ring_bytes)
-            if sender is not None:
-                alloc = sender.allocate(cursor)
-                if alloc is not None:
-                    base, receipt = alloc
-                    for slab, offset in zip(slabs, offsets):
-                        dst = np.ndarray(slab.shape, dtype=slab.dtype,
-                                         buffer=sender.shm.buf, offset=base + offset)
-                        dst[...] = slab
-                        del dst
-                    return (SHMRING, ring,
-                            tuple(base + offset for offset in offsets),
-                            receipt, inner)
+    def _write_segment(self, slabs, offsets, cursor):
+        """Copy the slabs into a fresh dedicated segment; return its name.
+
+        Returns ``None`` when segment creation fails (e.g. /dev/shm filled
+        up), in which case the caller degrades to the inline codec.
+        """
         try:
             seg = _shm_module.SharedMemory(create=True, size=max(cursor, 1))
         except Exception:
-            # Creation can start failing later (e.g. /dev/shm filled up);
-            # degrade to the inline codec for this and future messages.
+            # Creation can start failing later; degrade to the inline
+            # codec for this and future messages.
             global _PROBE
             _PROBE = (os.getpid(), False)
-            return walk_encode(payload, lambda arr: None)
+            return None
         try:
             for slab, offset in zip(slabs, offsets):
                 dst = np.ndarray(slab.shape, dtype=slab.dtype,
@@ -411,12 +575,86 @@ class SharedMemoryTransport(PayloadTransport):
             raise
         name = seg.name
         seg.close()  # the sender's mapping is no longer needed
+        self.stats.segments_created += 1
+        return name
+
+    def encode(self, payload, *, ring: str | None = None):
+        self.stats.encode_calls += 1
+        if not shared_memory_available():
+            return walk_encode(payload, lambda arr: None)
+
+        slabs, offsets, cursor, inner = self._pack(payload)
+        if not slabs:
+            return inner
+        self.stats.bytes_encoded += cursor
+
+        if ring is not None:
+            sender = _sender_ring(ring, self.ring_bytes,
+                                  max_bytes=self.ring_max_bytes,
+                                  min_bytes=self.ring_min_bytes)
+            if sender is not None:
+                alloc = sender.allocate(cursor)
+                if alloc is not None:
+                    base, receipt = alloc
+                    for slab, offset in zip(slabs, offsets):
+                        dst = np.ndarray(slab.shape, dtype=slab.dtype,
+                                         buffer=sender.shm.buf, offset=base + offset)
+                        dst[...] = slab
+                        del dst
+                    self.stats.ring_messages += 1
+                    return (SHMRING, ring,
+                            tuple(base + offset for offset in offsets),
+                            receipt, inner)
+                # The allocator refused (message bigger than the logical
+                # capacity, or unacked slots still cover the ring): fall
+                # through to a dedicated segment.  The refusal is recorded
+                # in the ring's epoch statistics, so the adaptive geometry
+                # grows at the next epoch boundary and steady workloads
+                # stop paying this path.
+                self.stats.oversize_fallbacks += 1
+        name = self._write_segment(slabs, offsets, cursor)
+        if name is None:
+            return walk_encode(payload, lambda arr: None)
         return (SHMSEG, name, tuple(offsets), inner)
+
+    def encode_shared(self, payload, n_consumers: int, *, ring: str | None = None):
+        """Encode ``payload`` once for ``n_consumers`` independent receivers.
+
+        Bulk arrays go into one dedicated segment whose refcount starts at
+        ``n_consumers``; every receiver's :meth:`decode` attaches the
+        segment (without unlinking) and acknowledges the attach, and the
+        encoder's :meth:`ring_ack` unlinks the segment after the last
+        acknowledgement (undelivered copies are released by
+        :meth:`dispose`, abandoned ones by :meth:`retire_shared`).
+        Payloads without bulk arrays return the plain in-band record,
+        which any number of consumers can decode.
+        """
+        if n_consumers < 1:
+            raise ValidationError(
+                f"n_consumers must be >= 1, got {n_consumers}"
+            )
+        self.stats.shared_encode_calls += 1
+        if not shared_memory_available():
+            return walk_encode(payload, lambda arr: None)
+        slabs, offsets, cursor, inner = self._pack(payload)
+        if not slabs:
+            return inner
+        self.stats.bytes_encoded += cursor
+        name = self._write_segment(slabs, offsets, cursor)
+        if name is None:
+            return walk_encode(payload, lambda arr: None)
+        self.stats.segments_created -= 1  # counted as multi instead
+        self.stats.multi_segments_created += 1
+        self._multi[(os.getpid(), name)] = int(n_consumers)
+        return (SHMMULTI, name, tuple(offsets), inner)
 
     # -- decoding -----------------------------------------------------------
     def decode(self, record, *, ack=None):
+        self.stats.decode_calls += 1
         if record[0] == SHMRING:
             return self._decode_ring(record, ack)
+        if record[0] == SHMMULTI:
+            return self._decode_multi(record, ack)
         if record[0] != SHMSEG:
             return walk_decode(record)
         _, name, offsets, inner = record
@@ -464,47 +702,126 @@ class SharedMemoryTransport(PayloadTransport):
 
         return walk_decode(inner, resolve)
 
+    def _decode_multi(self, record, ack=None):
+        """Decode one consumer's copy of a multi-consumer record.
+
+        Attaches the segment *without unlinking it* (the encoder owns the
+        name and unlinks after the last acknowledgement); the mapping is
+        closed once every returned view has been garbage collected.  The
+        acknowledgement fires at *attach* time -- POSIX keeps the memory
+        alive while the mapping is open, so the encoder may unlink the
+        name as soon as every consumer holds a mapping, well before the
+        views die.
+        """
+        _, name, offsets, inner = record
+        try:
+            seg = _shm_module.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise CommunicationError(
+                f"multi-consumer segment {name!r} vanished before it was "
+                "received (the run was probably aborted)"
+            ) from None
+        lease = _SegmentLease(seg, len(offsets))
+
+        def resolve(ref):
+            _, index, dtype, shape = ref
+            view = np.ndarray(shape, dtype=dtype, buffer=seg.buf,
+                              offset=offsets[index])
+            lease.watch(view)
+            return view
+
+        payload = walk_decode(inner, resolve)
+        if ack is not None:
+            try:
+                ack((name, _MULTI_TOKEN))
+            except Exception:  # pragma: no cover - acks are best effort
+                pass
+        return payload
+
     # -- acknowledgements ----------------------------------------------------
     def ring_ack(self, receipt) -> None:
-        """Apply a receiver acknowledgement to this process's sender ring.
+        """Apply a receiver acknowledgement in the encoding process.
 
-        ``receipt`` is the ``(ring name, virtual slot end)`` pair the
-        receiver's ``decode`` handed to its ``ack`` callback; the named
-        slot (and any contiguous acked predecessors) becomes reusable.
-        Unknown receipts -- duplicate delivery, a ring that was already
-        retired -- are ignored.
+        ``receipt`` is what a receiver's ``decode`` handed to its ``ack``
+        callback: the ``(ring name, virtual slot end)`` pair of a ring
+        slot whose views are gone -- the named slot (and any contiguous
+        acked predecessors) becomes reusable -- or the ``(segment name,
+        token)`` attach receipt of a multi-consumer segment, which
+        decrements its refcount and unlinks the segment after the last
+        consumer.  Unknown receipts -- duplicate delivery, a ring that
+        was already retired -- are ignored.
         """
         try:
             name, end = receipt
         except (TypeError, ValueError):
             return
+        if end == _MULTI_TOKEN:
+            self._multi_ack(name)
+            return
         ring = _SENDER_RINGS.get((os.getpid(), name))
         if ring is not None:
             ring.ack(end)
 
+    def _multi_ack(self, name: str) -> None:
+        """One consumer released its share of a multi-consumer segment."""
+        key = (os.getpid(), name)
+        remaining = self._multi.get(key)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            self._multi.pop(key, None)
+            _unlink_by_name(name)
+        else:
+            self._multi[key] = remaining - 1
+
     # -- disposal -----------------------------------------------------------
     def dispose(self, record) -> None:
-        """Unlink the segment of a record that will never be decoded.
+        """Release a record that will never be decoded.
 
-        Ring records need no per-message disposal -- the fabric retires
-        whole rings via :meth:`retire_rings` at shutdown.
+        Dedicated segments are unlinked outright; a multi-consumer record
+        releases one undelivered copy's share of the refcount (the caller
+        disposes each queued copy separately).  Ring records need no
+        per-message disposal -- the fabric retires whole rings via
+        :meth:`retire_rings` at shutdown.
         """
-        if not (isinstance(record, tuple) and record and record[0] == SHMSEG):
+        if not (isinstance(record, tuple) and record):
             return
-        name = record[1]
-        if _shm_module is None:  # pragma: no cover
+        if record[0] == SHMMULTI:
+            self._multi_ack(record[1])
             return
-        try:
-            seg = _shm_module.SharedMemory(name=name)
-        except FileNotFoundError:
+        if record[0] != SHMSEG:
             return
-        try:
-            seg.unlink()
-        except FileNotFoundError:  # pragma: no cover
-            pass
-        seg.close()
+        _unlink_by_name(record[1])
+
+    def retire_shared(self) -> None:
+        """Unlink every outstanding multi-consumer segment of this process.
+
+        Called during fabric shutdown: consumers that crashed before
+        acknowledging leave the refcount above zero, and the names they
+        never attached must not outlive the run.
+        """
+        pid = os.getpid()
+        for key in [k for k in self._multi if k[0] == pid]:
+            self._multi.pop(key, None)
+            _unlink_by_name(key[1])
 
     # -- ring lifecycle -----------------------------------------------------
+    def ring_epoch(self, name: str) -> None:
+        """Epoch boundary of this process's sender ring called ``name``.
+
+        Persistent-pool workers call this at the start of every dispatched
+        run (after applying the receipts batched into the dispatch, so a
+        fully acked ring is observably empty); the ring closes its traffic
+        epoch and adapts its logical capacity within
+        ``[ring_min_bytes, ring_max_bytes]``.  A no-op for rings this
+        process does not own, and when ``adaptive_ring`` is off.
+        """
+        if not self.adaptive_ring:
+            return
+        ring = _SENDER_RINGS.get((os.getpid(), name))
+        if ring is not None:
+            ring.end_epoch()
+
     def retire_rings(self, names) -> None:
         """Unlink the named ring segments and drop this process's handles.
 

@@ -51,13 +51,36 @@ A transport is any object with
     named by ``receipt`` may be reused for future messages.  This is what
     lets the shared-memory ring segments wrap around instead of degrading
     to per-message segments on long runs.
+``encode_shared(payload, n_consumers, *, ring=None) -> record | None`` (optional)
+    Encode once for ``n_consumers`` independent receivers: the same record
+    is delivered to (and decoded by) every consumer, so persistent pools
+    can ship one run's bulk dispatch arguments with a single encode
+    instead of one per rank.  The shared-memory transport backs this with
+    a *refcounted* segment unlinked after the last consumer's ack;
+    returning ``None`` declines and the caller falls back to per-consumer
+    ``encode``.
 ``dispose(record) -> None``
     Release any out-of-band resources (e.g. shared-memory segments) held
     by a record that will *never* be decoded -- the fabric calls this when
     draining undelivered messages on shutdown, abort and timeout paths.
+    For a multi-consumer record, one ``dispose`` call releases one
+    undelivered copy's share of the refcount.
 ``retire_rings(names) -> None`` (optional)
     Unlink/release the named ring buffers at the end of a fabric run;
     only called by fabrics that handed out ring names.
+``retire_shared() -> None`` (optional)
+    Unlink every outstanding multi-consumer segment this process still
+    tracks; called during fabric shutdown so crashed or abandoned runs
+    leak nothing.
+``ring_epoch(name) -> None`` (optional)
+    Epoch boundary of the sender ring called ``name``: persistent-pool
+    workers call it at the start of every dispatched run so the ring can
+    adapt its logical capacity to the observed traffic (see the
+    shared-memory transport's adaptive ring geometry).
+``cache_key() -> tuple | None`` (optional)
+    Hashable configuration identity; equal keys mean two instances are
+    interchangeable, which is what lets the process-wide default pool
+    cache reuse one warm worker fleet across driver calls.
 ``uses_shared_memory`` (optional attribute)
     True when the transport creates shared-memory segments; the fabric
     then starts the ``multiprocessing`` resource tracker in the parent
@@ -79,6 +102,7 @@ from repro.util.errors import ValidationError
 __all__ = [
     "PayloadTransport",
     "PickleTransport",
+    "TransportStats",
     "register_transport",
     "get_transport",
     "available_transports",
@@ -96,6 +120,44 @@ SHMSEG = "shmseg"
 #: (created once per fabric, reclaimed slot-by-slot through receiver
 #: acknowledgements, retired by the fabric at shutdown).
 SHMRING = "shmring"
+#: Marker of a *multi-consumer* record: one refcounted segment read by
+#: ``n_consumers`` independent receivers (the worker pool's bulk dispatch
+#: arguments), unlinked by the encoder once the last consumer has
+#: acknowledged its attach (see ``PayloadTransport.encode_shared``).
+SHMMULTI = "shmmulti"
+
+
+class TransportStats:
+    """Monotonic per-instance counters (observability, tests, bench gates).
+
+    Every built-in transport exposes one as its ``stats`` attribute.  The
+    interesting invariants they pin: persistent dispatch encodes bulk
+    arguments **once per run** (``shared_encode_calls`` grows by one per
+    ``run()``, not by ``p``), and a steady warm workload stops paying
+    ``oversize_fallbacks`` once the adaptive ring has grown to fit.
+    """
+
+    __slots__ = ("encode_calls", "shared_encode_calls", "decode_calls",
+                 "segments_created", "multi_segments_created",
+                 "ring_messages", "oversize_fallbacks", "bytes_encoded")
+
+    def __init__(self):
+        self.encode_calls = 0
+        self.shared_encode_calls = 0
+        self.decode_calls = 0
+        self.segments_created = 0
+        self.multi_segments_created = 0
+        self.ring_messages = 0
+        self.oversize_fallbacks = 0
+        self.bytes_encoded = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every counter (stable for test deltas)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"TransportStats({fields})"
 
 
 def walk_encode(obj, array_hook: Callable[[np.ndarray], tuple | None]):
@@ -162,8 +224,25 @@ class PayloadTransport:
         """
         raise NotImplementedError
 
+    def encode_shared(self, payload, n_consumers: int, *, ring: str | None = None):
+        """Encode ``payload`` once for ``n_consumers`` independent receivers.
+
+        Used by the worker pool to ship one run's bulk dispatch arguments:
+        the same returned record is delivered to every rank, so the
+        encoding must be safe to :meth:`decode` ``n_consumers`` times (the
+        shared-memory transport backs it with one *refcounted* segment
+        unlinked after the last consumer's acknowledgement).  Returning
+        ``None`` declines -- the caller falls back to per-consumer
+        :meth:`encode` -- which is what this base implementation does.
+        """
+        return None
+
     def dispose(self, record) -> None:
-        """Release out-of-band resources of a record that won't be decoded."""
+        """Release out-of-band resources of a record that won't be decoded.
+
+        For multi-consumer records this is called once per *undelivered
+        copy* and must release that copy's share of the refcount.
+        """
         # In-band transports hold nothing outside the record itself.
 
     def ring_ack(self, receipt) -> None:
@@ -173,6 +252,26 @@ class PayloadTransport:
     def retire_rings(self, names) -> None:
         """Release the named per-sender ring buffers (end of a fabric run)."""
         # In-band transports have no rings.
+
+    def retire_shared(self) -> None:
+        """Unlink every outstanding multi-consumer segment of this process."""
+        # In-band transports have no shared segments.
+
+    def ring_epoch(self, name: str) -> None:
+        """Epoch boundary of the sender ring called ``name`` (adaptive hook)."""
+        # In-band transports have no rings to adapt.
+
+    def cache_key(self) -> tuple | None:
+        """Hashable identity for pool-cache keying, or ``None``.
+
+        Two transport instances with equal (non-``None``) keys are
+        interchangeable: the process-wide default pool cache
+        (:func:`repro.pro.backends.pool.get_default_pool`) reuses a warm
+        worker fleet across driver calls only when the keys match.
+        ``None`` (the default) opts out of sharing -- the backend then
+        keeps a private fleet instead.
+        """
+        return None
 
 
 class PickleTransport(PayloadTransport):
@@ -185,11 +284,24 @@ class PickleTransport(PayloadTransport):
 
     name = "pickle"
 
+    def __init__(self):
+        self.stats = TransportStats()
+
     def encode(self, payload, *, ring: str | None = None):
+        self.stats.encode_calls += 1
+        return walk_encode(payload, lambda arr: None)
+
+    def encode_shared(self, payload, n_consumers: int, *, ring: str | None = None):
+        """One in-band record, safely decodable by any number of consumers."""
+        self.stats.shared_encode_calls += 1
         return walk_encode(payload, lambda arr: None)
 
     def decode(self, record, *, ack=None):
+        self.stats.decode_calls += 1
         return walk_decode(record)
+
+    def cache_key(self) -> tuple:
+        return ("pickle",)
 
 
 # ----------------------------------------------------------------------------

@@ -143,6 +143,14 @@ class PROMachine:
         the machine as a context manager, or the module-level
         :func:`repro.pro.backends.pool.pool` helper) to release the
         workers; they are also reaped by an ``atexit`` hook.
+
+        The fleet is private to this machine by default; pass
+        ``backend_options={"pool_scope": "process"}`` to borrow the
+        process-wide default pool cache instead (what the drivers do for
+        their warm-by-default calls; such fleets survive :meth:`close`
+        and are released by
+        :func:`repro.pro.backends.pool.clear_default_pools` or at
+        interpreter exit).
     """
 
     def __init__(
@@ -295,7 +303,7 @@ def resolve_machine(
     backend: str | object | None = None,
     seed=None,
     transport: str | object | None = None,
-    persistent: bool = False,
+    persistent: bool | None = None,
     schedule_seed: int | None = None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
@@ -306,15 +314,32 @@ def resolve_machine(
     pre-configured machine and a backend name is rejected because the
     machine already fixes its backend.  ``transport`` selects the payload
     transport of backends that take one (the process backend:
-    ``"sharedmem"`` or ``"pickle"``), ``persistent`` requests a standing
-    worker fleet (the process backend's worker pool), and
-    ``schedule_seed`` seeds the rank-interleaving schedule of backends
-    that take one (the sim backend) -- all three are rejected for backends
-    without the option and for pre-configured machines.  Neither option
-    affects what the ranks draw: a fixed ``seed`` stays bit-identical
-    across all of them.  Drivers that build a persistent machine
-    themselves are expected to close it when done (they own its worker
-    fleet).
+    ``"sharedmem"`` or ``"pickle"``), and ``schedule_seed`` seeds the
+    rank-interleaving schedule of backends that take one (the sim
+    backend) -- both are rejected for backends without the option and for
+    pre-configured machines.
+
+    ``persistent`` is tri-state.  With ``backend="process"`` the default
+    (``None``) already runs **warm**: the machine borrows a keyed standing
+    fleet from the process-wide default pool cache
+    (:func:`repro.pro.backends.pool.get_default_pool`), so repeated driver
+    calls stop paying ``p`` process spawns each.  ``persistent=False``
+    forces the old cold path (fresh processes per call);
+    ``persistent=True`` makes the warm request explicit (and is rejected,
+    like the other options, by backends without the option and by
+    pre-configured machines).  None of these options affect what the ranks
+    draw: a fixed ``seed`` stays bit-identical across all of them.
+
+    Examples
+    --------
+    >>> from repro.pro.machine import resolve_machine
+    >>> machine = resolve_machine(2, seed=0)          # thread backend
+    >>> machine.n_procs
+    2
+    >>> resolve_machine(4, backend="process").persistent  # warm by default
+    True
+    >>> resolve_machine(4, backend="process", persistent=False).persistent
+    False
     """
     if machine is None:
         options = {}
@@ -322,9 +347,16 @@ def resolve_machine(
             options["transport"] = transport
         if schedule_seed is not None:
             options["schedule_seed"] = schedule_seed
+        name = "thread" if backend is None else backend
+        # Warm-by-default: unless the caller forces the cold path, process
+        # machines built by the drivers share the process-wide default
+        # pool cache instead of spawning p ranks per call.
+        warm = (name == "process") if persistent is None else bool(persistent)
+        if warm and name == "process":
+            options.setdefault("pool_scope", "process")
         return PROMachine(
-            n_procs, seed=seed, backend="thread" if backend is None else backend,
-            backend_options=options, persistent=persistent,
+            n_procs, seed=seed, backend=name,
+            backend_options=options, persistent=warm,
         )
     if backend is not None:
         raise ValidationError(

@@ -295,3 +295,45 @@ class TestPermutationDeterminism:
 
         with pytest.raises(ValidationError, match="parallel"):
             sample_communication_matrix([4, 4], schedule_seed=3)
+
+
+class TestWarmDriverDeterminism:
+    """Warm-by-default drivers vs the forced-cold path: bit-identical.
+
+    Driver calls with ``backend="process"`` reuse the process-wide default
+    pool cache (``persistent=None`` means warm); ``persistent=False``
+    forces the historic cold spawn.  Warmth changes where the ranks live,
+    never what they draw, so a k-call sequence of warm driver calls must
+    equal the same k cold calls seed by seed -- across both transports.
+    """
+
+    TRANSPORTS = ["pickle", "sharedmem"]
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_k_driver_calls_warm_equals_cold(self, transport):
+        if True not in PERSISTENT_MODES:
+            pytest.skip("persistent cells disabled by REPRO_PERSISTENT")
+        from repro.pro.backends.pool import clear_default_pools, default_pools
+
+        clear_default_pools()
+        try:
+            for k, seed in enumerate((301, 302, 303)):
+                warm = random_permutation(np.arange(2500), n_procs=4,
+                                          backend="process",
+                                          transport=transport, seed=seed)
+                cold = random_permutation(np.arange(2500), n_procs=4,
+                                          backend="process",
+                                          transport=transport, seed=seed,
+                                          persistent=False)
+                assert np.array_equal(warm, cold), (transport, k)
+            assert len(default_pools()) == 1  # all warm calls shared one fleet
+        finally:
+            clear_default_pools()
+
+    def test_warm_matrix_matches_thread_reference(self):
+        if True not in PERSISTENT_MODES:
+            pytest.skip("persistent cells disabled by REPRO_PERSISTENT")
+        reference, _ = sample_matrix_parallel([5, 6, 7], backend="thread",
+                                              seed=99)
+        warm, _ = sample_matrix_parallel([5, 6, 7], backend="process", seed=99)
+        assert np.array_equal(reference, warm)
