@@ -493,11 +493,23 @@ def main(argv=None):
     records = collect_records(rounds=args.rounds)
     payload = {
         "suite": "bench_backends",
-        "schema": 3,
+        "schema": 4,
         "rounds": args.rounds,
         "adaptive_ring": adaptive_ring_cells(),
         "records": records,
     }
+    # Schema 4: the artifact also carries the kernel-tier throughput cells
+    # written by bench_kernels.py; carry them over instead of dropping them
+    # every time the backend grid is re-measured.
+    try:
+        with open(args.json) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        previous = {}
+    for key in ("kernel_records", "kernel_speedup_matrix_tree",
+                "kernel_speedup_row_cut"):
+        if key in previous:
+            payload[key] = previous[key]
     speedup = dispatch_speedup(records)
     if speedup is not None:
         payload["dispatch_speedup_persistent_vs_cold"] = round(speedup, 2)

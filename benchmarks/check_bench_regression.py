@@ -26,6 +26,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import bench_kernels  # noqa: E402
 from bench_backends import (  # noqa: E402
     DISPATCH_POINT,
     WARM_DRIVER_POINT,
@@ -69,6 +70,24 @@ def remeasure(record, *, rounds):
     )
 
 
+def gated_kernel_cells(tracked):
+    """Kernel-tier cells (schema 4) whose tier resolves the same way here.
+
+    A cell recorded with an active numba tier on a host where the request
+    now degrades to NumPy (or vice versa) is not comparable -- the gate
+    skips it rather than mistaking a tier change for a perf change.
+    """
+    from repro.core.kernels import reset_kernels, resolve_kernels
+
+    cells = []
+    for record in tracked.get("kernel_records", []):
+        reset_kernels()
+        if resolve_kernels(record["kernels"]).name == record.get("tier_active"):
+            cells.append(record)
+    reset_kernels()
+    return cells
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tracked", default="benchmarks/BENCH_backends.json",
@@ -90,19 +109,13 @@ def main(argv=None):
 
     fresh_records = []
     regressions = []
-    for record in cells:
-        seconds = remeasure(record, rounds=args.rounds)
+
+    def judge(variant, record, seconds):
         fresh = dict(record, median_seconds=round(seconds, 6),
                      tracked_median_seconds=record["median_seconds"])
         fresh_records.append(fresh)
         tracked_median = float(record["median_seconds"])
         ratio = seconds / tracked_median if tracked_median > 0 else 1.0
-        variant = "-".join(
-            str(part) for part in (
-                record["workload"], record["backend"], record.get("transport"),
-                "persistent" if record.get("persistent") else "cold",
-            ) if part
-        )
         gated = tracked_median >= MIN_GATED_SECONDS
         regressed = gated and ratio > args.factor
         verdict = ("REGRESSED" if regressed
@@ -111,6 +124,22 @@ def main(argv=None):
               f"fresh {seconds * 1e3:9.2f}ms  x{ratio:5.2f}  {verdict}")
         if regressed:
             regressions.append((variant, ratio))
+
+    for record in cells:
+        variant = "-".join(
+            str(part) for part in (
+                record["workload"], record["backend"], record.get("transport"),
+                "persistent" if record.get("persistent") else "cold",
+            ) if part
+        )
+        judge(variant, record, remeasure(record, rounds=args.rounds))
+
+    for record in gated_kernel_cells(tracked):
+        seconds = bench_kernels.median_seconds(
+            record["workload"], record["kernels"], rounds=args.rounds
+        )
+        judge(f"kernels-{record['workload']}-{record['kernels']}",
+              record, seconds)
 
     with open(args.out, "w") as fh:
         json.dump({

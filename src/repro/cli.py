@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
              "each K replays one deterministic schedule; rejected for other "
              "backends, seed-identical results under every schedule",
     )
+    kernels_kwargs = dict(
+        choices=["auto", "numba", "numpy"], default=None,
+        help="kernel tier of the sampling hot path: auto (default; compiled "
+             "numba kernels when importable, NumPy otherwise), numba or "
+             "numpy; unset defers to REPRO_KERNELS; seed-identical results "
+             "across tiers",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -69,10 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     permute.add_argument("--transport", **transport_kwargs)
     permute.add_argument("--persistent", **persistent_kwargs)
     permute.add_argument("--schedule-seed", **schedule_seed_kwargs)
+    permute.add_argument("--kernels", **kernels_kwargs)
     permute.add_argument("--repeats", type=int, default=1,
                          help="how many permutations to run on the same machine "
                               "(with --persistent the spawn cost is paid once)")
     permute.add_argument("--head", type=int, default=10, help="how many output items to print")
+    permute.add_argument("--verbose", action="store_true",
+                         help="also print per-rank details (kernel tier and "
+                              "JIT warm-up time repatriated in the cost records)")
 
     matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
     matrix.add_argument("--sizes", type=str, required=True,
@@ -91,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--transport", **transport_kwargs)
     matrix.add_argument("--persistent", **persistent_kwargs)
     matrix.add_argument("--schedule-seed", **schedule_seed_kwargs)
+    matrix.add_argument("--kernels", **kernels_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -145,6 +157,7 @@ def _cmd_permute(args) -> int:
         backend_options=backend_options,
         persistent=persistent,
         count_random_variates=True,
+        kernels=args.kernels,
     )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
@@ -163,6 +176,13 @@ def _cmd_permute(args) -> int:
     out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)
     print(f"first {min(args.head, args.n)} output items: {out[:args.head].tolist()}")
     print(run.cost_report.summary_table())
+    if args.verbose:
+        for rank, (tier, warmup) in enumerate(run.cost_report.kernel_tiers()):
+            if tier is None:
+                print(f"rank {rank}: kernel tier not recorded")
+            else:
+                print(f"rank {rank}: kernel tier {tier} "
+                      f"(JIT warm-up {warmup * 1e3:.1f} ms)")
     return 0
 
 
@@ -179,6 +199,7 @@ def _cmd_matrix(args) -> int:
         transport=args.transport,  # likewise parallel-path only
         persistent=args.persistent,  # likewise parallel-path only
         schedule_seed=args.schedule_seed,  # likewise parallel-path only
+        kernels=args.kernels,
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "

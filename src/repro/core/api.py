@@ -37,6 +37,7 @@ def sample_communication_matrix(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -87,6 +88,11 @@ def sample_communication_matrix(
         see :mod:`repro.pro.backends.sim`).  Like ``backend``,
         parallel-path only, and the matrix is identical under every
         schedule.
+    kernels:
+        Kernel tier for the sampling hot path
+        (``"auto"``/``"numba"``/``"numpy"``; ``None`` defers to
+        ``REPRO_KERNELS``).  Applies to both paths and is bit-identical
+        across tiers for a fixed seed; see :mod:`repro.core.kernels`.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -146,7 +152,7 @@ def sample_communication_matrix(
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
-            generator, method=method, strategy=strategy,
+            generator, method=method, strategy=strategy, kernels=kernels,
         )
     if rng is not None:
         raise ValidationError(
@@ -163,6 +169,7 @@ def sample_communication_matrix(
         transport=transport,
         persistent=persistent,
         schedule_seed=schedule_seed,
+        kernels=kernels,
         seed=seed,
         method=method,
     )

@@ -75,15 +75,40 @@ class SamplerEngine:
     hin_threshold:
         Transformed sample size below which ``"auto"`` picks the inverse
         method.
+    kernels:
+        Kernel-tier request (``"auto"``/``"numba"``/``"numpy"``, a tier
+        object, or ``None`` to defer to ``REPRO_KERNELS``); see
+        :mod:`repro.core.kernels`.  The batched kernels and
+        :meth:`draw_many` consult the resolved tier first and fall back to
+        the NumPy paths whenever it declines -- results are bit-identical
+        either way.
     """
 
-    def __init__(self, method: str = "auto", *, hin_threshold: int = _HIN_THRESHOLD):
+    def __init__(
+        self,
+        method: str = "auto",
+        *,
+        hin_threshold: int = _HIN_THRESHOLD,
+        kernels=None,
+    ):
         if method not in VALID_METHODS:
             raise ValidationError(
                 f"unknown method {method!r}; use auto, hin, hrua or numpy"
             )
         self.method = method
         self.hin_threshold = int(hin_threshold)
+        if kernels is not None:
+            from repro.core.kernels import normalize_kernels
+
+            normalize_kernels(kernels)  # eager name validation; resolution stays lazy
+        self.kernels = kernels
+
+    def _resolve_tier(self):
+        # Resolved lazily per call (not cached on the engine) so shared
+        # engines honour REPRO_KERNELS changes and reset_kernels() in tests.
+        from repro.core.kernels import resolve_kernels
+
+        return resolve_kernels(self.kernels)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"SamplerEngine(method={self.method!r})"
@@ -148,6 +173,9 @@ class SamplerEngine:
         if trivial is not None:
             return np.full(size, trivial, dtype=np.int64)
         rng = _kernel_rng(rng)
+        result = self._resolve_tier().repeat_hypergeometric(rng, w, b, t, size)
+        if result is not None:
+            return result
         return np.asarray(rng.hypergeometric(w, b, t, size), dtype=np.int64)
 
     # -- batched kernels -------------------------------------------------------
@@ -211,6 +239,9 @@ class SamplerEngine:
                 raise ValidationError("cannot draw from an urn with no classes")
             return np.zeros((n_batch, 0), dtype=np.int64)
         rng = _kernel_rng(rng)
+        compiled = self._resolve_tier().multivariate_batch(rng, draws, sizes)
+        if compiled is not None:
+            return compiled
 
         counts = np.zeros((n_batch, n_classes), dtype=np.int64)
         prefix = np.zeros((n_batch, n_classes + 1), dtype=np.int64)
@@ -275,6 +306,9 @@ class SamplerEngine:
         if rows.size == 0 or cols.size == 0:
             return matrix
         rng = _kernel_rng(rng)
+        compiled = self._resolve_tier().sample_matrix(rng, rows, cols)
+        if compiled is not None:
+            return compiled
 
         row_prefix = np.concatenate([[0], np.cumsum(rows)])
         # One block per current row range; caps[i] holds the column capacities
@@ -312,20 +346,32 @@ class SamplerEngine:
 # ----------------------------------------------------------------------------
 # Shared engine instances
 # ----------------------------------------------------------------------------
-_ENGINES: dict[str, SamplerEngine] = {}
+_ENGINES: dict[tuple, SamplerEngine] = {}
 
 
-def get_engine(method: str | SamplerEngine = "auto") -> SamplerEngine:
-    """Shared :class:`SamplerEngine` for ``method`` (instances pass through).
+def get_engine(method: str | SamplerEngine = "auto", *, kernels=None) -> SamplerEngine:
+    """Shared :class:`SamplerEngine` for ``(method, kernels)`` (instances pass through).
 
     This is the single point every sampling entry point resolves its
     ``method=`` argument through, so the selection policy lives in exactly
-    one place.
+    one place.  ``kernels`` selects the kernel tier the engine consults
+    (see :mod:`repro.core.kernels`); passing it alongside a pre-built
+    engine is rejected because the engine already owns a tier choice.
     """
     if isinstance(method, SamplerEngine):
+        if kernels is not None:
+            raise ValidationError(
+                "kernels= cannot be combined with a pre-built SamplerEngine; "
+                "construct the engine with kernels= instead"
+            )
         return method
-    engine = _ENGINES.get(method)
+    if kernels is not None and not isinstance(kernels, str):
+        # Tier objects are not hashable cache keys; build a private engine.
+        return SamplerEngine(method, kernels=kernels)
+    key = (method, kernels)
+    engine = _ENGINES.get(key)
     if engine is None:
-        engine = SamplerEngine(method)  # raises ValidationError for unknown names
-        _ENGINES[method] = engine
+        # raises ValidationError for unknown method/kernels names
+        engine = SamplerEngine(method, kernels=kernels)
+        _ENGINES[key] = engine
     return engine

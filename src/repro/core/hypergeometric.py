@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from functools import lru_cache
 from math import floor, lgamma, log, sqrt
 
 import numpy as np
@@ -151,7 +152,10 @@ def support(t: int, w: int, b: int) -> tuple[int, int]:
     return max(0, t - b), min(t, w)
 
 
+@lru_cache(maxsize=65536)
 def _log_binomial(n: int, k: int) -> float:
+    # Memoized: pmf sweeps and log_pmf-based tests hit the same (n, k)
+    # pairs repeatedly, and each miss costs three lgamma evaluations.
     if k < 0 or k > n:
         return float("-inf")
     return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
@@ -355,9 +359,50 @@ def sample(t: int, w: int, b: int, rng=None, *, method: str = "auto") -> int:
 
 
 def sample_many(t: int, w: int, b: int, size: int, rng=None, *, method: str = "auto") -> np.ndarray:
-    """Draw ``size`` i.i.d. variates of ``h(t, w, b)`` as an ``int64`` array."""
+    """Draw ``size`` i.i.d. variates of ``h(t, w, b)`` as an ``int64`` array.
+
+    For the scalar strategies (``"hin"``/``"hrua"``, or ``"auto"`` resolving
+    to one of them) the uniforms for the whole batch are pre-drawn in one
+    raw-word block and consumed by the blocked samplers of
+    :mod:`repro.core.kernels.portable` -- bit-identical, per draw, to the
+    per-call loop it replaces, including the per-call uniform counts seen by
+    a :class:`~repro.rng.counting.CountingRNG` and an active
+    :class:`SampleRecorder`.  Generators the word stream cannot drive (and
+    ``method="numpy"``) keep the scalar loop.
+    """
+    from repro.core.engine import get_engine  # deferred: engine imports this module
+
+    engine = get_engine(method)
     size = check_nonnegative_int(size, "size")
     rng = default_rng(rng) if not hasattr(rng, "random") else rng
+    t, w, b = _validate_parameters(t, w, b)
+    recorder = _active_recorder()
+
+    trivial = _trivial_sample(t, w, b)
+    if trivial is not None:
+        if recorder is not None:
+            for _ in range(size):
+                recorder.record(0)
+        return np.full(size, trivial, dtype=np.int64)
+
+    concrete = engine.resolve_method(t)
+    if concrete in ("hin", "hrua") and size > 0:
+        from repro.core.kernels import wordstream
+
+        gen = wordstream.supported_generator(rng)
+        if gen is not None:
+            out, used = wordstream.blocked_scalar_many(gen, concrete, t, w, b, size)
+            counting = rng is not gen and hasattr(rng, "uniforms_drawn")
+            if counting:
+                # The replaced loop made one rng.random() call per uniform.
+                total_used = int(used.sum())
+                rng.uniforms_drawn += total_used
+                rng.calls += total_used
+            if recorder is not None:
+                for u in used:
+                    recorder.record(int(u) if counting else 0)
+            return out
+
     return np.array([sample(t, w, b, rng, method=method) for _ in range(size)], dtype=np.int64)
 
 

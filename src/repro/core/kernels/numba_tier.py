@@ -1,0 +1,202 @@
+"""The compiled kernel tier: numba-jitted hot paths behind the tier interface.
+
+Every capability method first checks that the provided rng is one the word
+stream can drive (:func:`~repro.core.kernels.wordstream.supported_generator`)
+and returns ``None`` otherwise -- the caller then takes its NumPy path, so
+an exotic generator degrades per call, not per process.  On the happy path
+the method runs the :mod:`~repro.core.kernels.portable` kernel through
+:func:`~repro.core.kernels.wordstream.run_kernel` and charges a wrapping
+:class:`~repro.rng.counting.CountingRNG` exactly what the NumPy path would
+have charged it, so cost accounting is tier-invariant.
+
+:func:`build` is the registry's entry point: it refuses cleanly when numba
+is absent and otherwise runs :meth:`NumbaKernels.warm_up`, which both
+triggers every JIT compile (so no timed dispatch ever pays it) and
+*self-verifies* each kernel bit-for-bit against its NumPy oracle on probe
+seeds -- a tier that cannot prove equivalence on this host never becomes
+active; the registry falls back to the NumPy tier instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.kernels import portable, wordstream
+
+__all__ = ["NumbaKernels", "build"]
+
+
+def _charge(rng, gen, *, uniforms: int = 0, integers: int = 0, calls: int = 0) -> None:
+    """Mirror the CountingRNG charges of the replaced NumPy path."""
+    if rng is gen or not hasattr(rng, "uniforms_drawn"):
+        return
+    rng.uniforms_drawn += int(uniforms)
+    rng.integers_drawn += int(integers)
+    rng.calls += int(calls)
+
+
+class NumbaKernels:
+    """Compiled implementations of the sampling hot paths.
+
+    Each method returns the result array, or ``None`` when this tier cannot
+    handle the request (unsupported bit generator / duck-typed rng); the
+    caller must treat ``None`` as "take the NumPy path".
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self.warmup_seconds = 0.0
+
+    # -- capabilities ------------------------------------------------------
+    def multivariate_batch(self, rng, draws, sizes):
+        """Batched multivariate splitting tree; mirrors the engine's level order."""
+        gen = wordstream.supported_generator(rng)
+        if gen is None:
+            return None
+        draws = np.ascontiguousarray(draws, dtype=np.int64)
+        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        out = np.zeros(sizes.shape, dtype=np.int64)
+        stats = np.zeros(2, dtype=np.int64)
+
+        def invoke(words, cur):
+            return portable.fill_multivariate_batch(words, cur, draws, sizes, out, stats)
+
+        wordstream.run_kernel(gen, 4 * sizes.size + 64, invoke)
+        _charge(rng, gen, uniforms=stats[0], calls=stats[1])
+        return out
+
+    def sample_matrix(self, rng, rows, cols):
+        """Whole communication-matrix row tree; mirrors sample_matrix_batched."""
+        gen = wordstream.supported_generator(rng)
+        if gen is None:
+            return None
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        out = np.zeros((rows.size, cols.size), dtype=np.int64)
+        stats = np.zeros(2, dtype=np.int64)
+
+        def invoke(words, cur):
+            return portable.fill_matrix(words, cur, rows, cols, out, stats)
+
+        wordstream.run_kernel(gen, 4 * rows.size * cols.size + 256, invoke)
+        _charge(rng, gen, uniforms=stats[0], calls=stats[1])
+        return out
+
+    def repeat_hypergeometric(self, rng, w, b, t, size):
+        """``size`` draws of one ``Generator.hypergeometric(w, b, t)``."""
+        gen = wordstream.supported_generator(rng)
+        if gen is None:
+            return None
+        out = np.empty(int(size), dtype=np.int64)
+        w, b, t = int(w), int(b), int(t)
+
+        def invoke(words, cur):
+            return portable.fill_hyp_repeat(words, cur, w, b, t, out)
+
+        wordstream.run_kernel(gen, 4 * out.size + 64, invoke)
+        # The replaced path is one vectorized Generator.hypergeometric call.
+        _charge(rng, gen, uniforms=out.size, calls=1)
+        return out
+
+    def permutation(self, rng, n):
+        """Fisher-Yates permutation of ``range(n)``; mirrors Generator.shuffle."""
+        gen = wordstream.supported_generator(rng)
+        if gen is None:
+            return None
+        out = np.empty(int(n), dtype=np.int64)
+
+        def invoke(words, cur):
+            return portable.fill_permutation(words, cur, out)
+
+        wordstream.run_kernel(gen, 2 * out.size + 16, invoke)
+        _charge(rng, gen, integers=max(out.size - 1, 0), calls=1)
+        return out
+
+    # -- warm-up & self-verification ---------------------------------------
+    def warm_up(self) -> "NumbaKernels":
+        """Compile every kernel and prove it bit-exact against NumPy.
+
+        Raises on any divergence (the registry treats that as "tier
+        unavailable"); on success :attr:`warmup_seconds` holds the wall time
+        the JIT compiles took, for repatriation through the cost records.
+        """
+        start = time.perf_counter()
+        self._verify()
+        self.warmup_seconds = time.perf_counter() - start
+        return self
+
+    def _verify(self) -> None:
+        from repro.core import hypergeometric
+        from repro.core.engine import SamplerEngine
+
+        oracle_engine = SamplerEngine("auto", kernels="numpy")
+
+        def pair(seed):
+            return (
+                np.random.Generator(np.random.PCG64(seed)),
+                np.random.Generator(np.random.PCG64(seed)),
+            )
+
+        def check_stream(g1, g2, what):
+            if not np.array_equal(g1.random(4), g2.random(4)):
+                raise AssertionError(f"kernel self-check: stream diverged after {what}")
+
+        # Permutation vs Generator.shuffle (odd size exercises the carried
+        # uint32 half-word buffer across the follow-up stream check).
+        for n in (1, 2, 13, 257):
+            g1, g2 = pair(1000 + n)
+            perm = self.permutation(g1, n)
+            ref = np.arange(n)
+            g2.shuffle(ref)
+            if not np.array_equal(perm, ref):
+                raise AssertionError("kernel self-check: permutation mismatch")
+            check_stream(g1, g2, "permutation")
+
+        # Repeated single-parameter draws vs the vectorized kernel call.
+        for w, b, t in ((30, 40, 20), (500, 300, 11), (8, 9, 4)):
+            g1, g2 = pair(2000 + t)
+            mine = self.repeat_hypergeometric(g1, w, b, t, 40)
+            ref = g2.hypergeometric(w, b, t, 40)
+            if not np.array_equal(mine, ref):
+                raise AssertionError("kernel self-check: repeat_hypergeometric mismatch")
+            check_stream(g1, g2, "repeat_hypergeometric")
+
+        # Multivariate splitting tree vs the NumPy-tier engine.
+        g1, g2 = pair(3000)
+        sizes = np.array([[5, 0, 7, 3, 11], [2, 2, 2, 2, 2]], dtype=np.int64)
+        draws = np.array([14, 6], dtype=np.int64)
+        mine = self.multivariate_batch(g1, draws, sizes)
+        ref = oracle_engine.multivariate_batch(draws, sizes, g2)
+        if not np.array_equal(mine, ref):
+            raise AssertionError("kernel self-check: multivariate_batch mismatch")
+        check_stream(g1, g2, "multivariate_batch")
+
+        # Whole matrix tree vs the NumPy-tier engine.
+        g1, g2 = pair(4000)
+        rows = np.array([7, 5, 3, 9, 0, 12], dtype=np.int64)
+        cols = np.array([6, 6, 6, 6, 6, 6], dtype=np.int64)
+        mine = self.sample_matrix(g1, rows, cols)
+        ref = oracle_engine.sample_matrix_batched(rows, cols, g2)
+        if not np.array_equal(mine, ref):
+            raise AssertionError("kernel self-check: sample_matrix mismatch")
+        check_stream(g1, g2, "sample_matrix")
+
+        # Blocked scalar samplers vs the library's per-draw loops.
+        for concrete, (t, w, b) in (("hin", (5, 20, 30)), ("hrua", (40, 60, 50))):
+            g1, g2 = pair(5000 + t)
+            scalar = hypergeometric.sample_hin if concrete == "hin" else hypergeometric.sample_hrua
+            mine, _used = wordstream.blocked_scalar_many(g1, concrete, t, w, b, 30)
+            ref = np.array([scalar(t, w, b, g2) for _ in range(30)], dtype=np.int64)
+            if not np.array_equal(mine, ref):
+                raise AssertionError(f"kernel self-check: blocked {concrete} mismatch")
+            check_stream(g1, g2, f"blocked {concrete}")
+
+
+def build() -> NumbaKernels:
+    """Construct, compile and self-verify the numba tier (raises if unable)."""
+    if not portable.HAVE_NUMBA:
+        raise RuntimeError("numba is not importable; compiled tier unavailable")
+    return NumbaKernels().warm_up()

@@ -1,0 +1,39 @@
+"""The fallback kernel tier: decline everything, keep the NumPy paths.
+
+The registry's contract is that a tier method returning ``None`` sends the
+caller down the exact code path it would have taken before the kernel
+registry existed.  :class:`NumpyKernels` returns ``None`` from every
+capability, so selecting ``kernels="numpy"`` (or failing to build the numba
+tier) is byte-for-byte the pre-registry behaviour -- same results, same
+CountingRNG charges, same recorder entries.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NumpyKernels"]
+
+
+class NumpyKernels:
+    """Tier object that declines every kernel, selecting the NumPy paths."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self.warmup_seconds = 0.0
+
+    def warm_up(self) -> "NumpyKernels":
+        """Nothing to compile; present for tier-interface uniformity."""
+        return self
+
+    # Every capability declines; callers fall back to their NumPy path.
+    def multivariate_batch(self, rng, draws, sizes):
+        return None
+
+    def sample_matrix(self, rng, rows, cols):
+        return None
+
+    def repeat_hypergeometric(self, rng, w, b, t, size):
+        return None
+
+    def permutation(self, rng, n):
+        return None

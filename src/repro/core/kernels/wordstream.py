@@ -1,0 +1,122 @@
+"""Feed compiled kernels from a NumPy ``BitGenerator`` -- and keep it aligned.
+
+The compiled tier never calls back into ``numpy.random``.  Instead it runs a
+kernel over a buffer of raw ``uint64`` words pre-drawn from the *same* bit
+generator the NumPy code path would have consumed, then advances the real
+generator by exactly the number of words the kernel used.  Afterwards the
+generator state is indistinguishable from having run the NumPy path, so the
+two tiers can interleave freely within one seeded run.
+
+The protocol (:func:`run_kernel`):
+
+1. checkpoint the bit-generator state;
+2. draw ``estimate`` raw words with ``random_raw`` and hand them to the
+   kernel together with the checkpointed 32-bit half-word buffer
+   (``has_uint32``/``uinteger``);
+3. if the kernel exhausts the buffer it returns ``-1`` *without* a partial
+   result -- restore the checkpoint and retry with twice the words;
+4. on success, restore the checkpoint, ``random_raw`` exactly the consumed
+   count to advance the stream, and patch the kernel's final half-word
+   buffer back into the state.
+
+Only bit generators whose ``random_raw`` yields the full 64-bit native
+output and whose state dict carries the ``has_uint32``/``uinteger`` buffer
+are eligible (:func:`supported_generator`); anything else -- e.g. MT19937,
+whose raw words are 32-bit -- makes the tier decline so callers fall back
+to the NumPy path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import portable
+
+__all__ = ["supported_generator", "run_kernel", "blocked_scalar_many"]
+
+#: Bit generators whose ``random_raw`` emits the same 64-bit words their
+#: ``next_uint64`` consumes (with 32-bit requests served from the buffered
+#: high half).  MT19937 is deliberately absent: its raw stream is 32-bit.
+_SUPPORTED_BITGENS = frozenset({"PCG64", "PCG64DXSM", "Philox", "SFC64"})
+
+
+def supported_generator(rng) -> "np.random.Generator | None":
+    """The underlying ``Generator`` if the kernels can drive it, else ``None``.
+
+    Unwraps a :class:`~repro.rng.counting.CountingRNG` (the caller remains
+    responsible for charging its counters); plain duck-typed rng objects and
+    generators over unsupported bit generators yield ``None``.
+    """
+    gen = getattr(rng, "generator", rng)
+    if not isinstance(gen, np.random.Generator):
+        return None
+    bitgen = gen.bit_generator
+    if type(bitgen).__name__ not in _SUPPORTED_BITGENS:
+        return None
+    try:
+        state = bitgen.state
+    except Exception:  # pragma: no cover - defensive
+        return None
+    if "has_uint32" not in state or "uinteger" not in state:
+        return None
+    return gen
+
+
+def run_kernel(gen: np.random.Generator, estimate: int, invoke) -> int:
+    """Run ``invoke(words, cur)`` over pre-drawn words; return words consumed.
+
+    ``invoke`` must follow the kernel contract of
+    :mod:`repro.core.kernels.portable`: read words through the ``cur``
+    cursor, return ``0`` on success and ``-1`` on buffer exhaustion without
+    having produced a partial result.  The generator ends exactly where the
+    equivalent sequence of ``Generator`` method calls would have left it.
+    """
+    bitgen = gen.bit_generator
+    checkpoint = bitgen.state
+    n = max(int(estimate), 8)
+    while True:
+        words = np.asarray(bitgen.random_raw(n), dtype=np.uint64)
+        cur = np.zeros(3, dtype=np.int64)
+        cur[1] = int(checkpoint["has_uint32"])
+        cur[2] = int(checkpoint["uinteger"])
+        status = invoke(words, cur)
+        bitgen.state = checkpoint
+        if status == 0:
+            consumed = int(cur[0])
+            if consumed:
+                bitgen.random_raw(consumed)
+            state = bitgen.state
+            state["has_uint32"] = int(cur[1])
+            state["uinteger"] = int(cur[2])
+            bitgen.state = state
+            return consumed
+        n *= 2
+
+
+def blocked_scalar_many(gen: np.random.Generator, concrete: str, t: int, w: int, b: int, size: int):
+    """``size`` draws of the library's scalar HIN/HRUA sampler in one block.
+
+    Returns ``(out, used)``: the variates and the per-draw uniform counts
+    (what each draw would have pulled through ``rng.random()`` in the scalar
+    loop).  Parameters must already be validated and non-degenerate.
+    """
+    out = np.empty(size, dtype=np.int64)
+    used = np.empty(size, dtype=np.int64)
+    if concrete == "hin":
+        # At most min(t, min(w, b) + 1) uniforms per draw; typical is close
+        # to that bound, so start there and let run_kernel double on demand.
+        per_draw = min(t, min(w, b) + 1)
+        estimate = size * per_draw + 16
+
+        def invoke(words, cur):
+            return portable.fill_hin_repeat(words, cur, t, w, b, out, used)
+
+    else:
+        # HRUA consumes two words per rejection round, ~1.2 rounds expected.
+        estimate = 4 * size + 64
+
+        def invoke(words, cur):
+            return portable.fill_hrua_repeat(words, cur, t, w, b, out, used)
+
+    run_kernel(gen, estimate, invoke)
+    return out, used

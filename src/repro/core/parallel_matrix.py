@@ -80,6 +80,15 @@ def resolve_tile_strategy(tile_strategy: str, method: str) -> str:
     return "batched" if method in ("auto", "numpy") else "sequential"
 
 
+def _note_kernel_tier(ctx: ProcessorContext, kernels):
+    """Resolve the kernel tier and record it in this rank's cost record."""
+    from repro.core.kernels import resolve_kernels
+
+    tier = resolve_kernels(kernels)
+    ctx.cost.note_kernel_tier(tier.name, tier.warmup_seconds)
+    return tier
+
+
 def _validate_inputs(ctx: ProcessorContext, row_sums, col_sums) -> tuple[np.ndarray, np.ndarray]:
     rows = check_vector_of_nonnegative_ints(row_sums, "row_sums")
     cols = check_vector_of_nonnegative_ints(col_sums, "col_sums")
@@ -94,15 +103,20 @@ def _validate_inputs(ctx: ProcessorContext, row_sums, col_sums) -> tuple[np.ndar
 # ----------------------------------------------------------------------------
 # Algorithm 5: head-splitting with a log factor
 # ----------------------------------------------------------------------------
-def algorithm5_program(ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto") -> np.ndarray:
+def algorithm5_program(
+    ctx: ProcessorContext, row_sums, col_sums, *, method: str = "auto", kernels=None
+) -> np.ndarray:
     """SPMD program: return row ``ctx.rank`` of a random communication matrix.
 
     Implements Algorithm 5 of the paper.  ``row_sums`` must have length
     ``ctx.n_procs`` (one source block per processor); ``col_sums`` may have
     any length ``p'``.  Only the *values* on processor ``ctx.rank`` are used
     for the processor's own decisions, but every processor is given the full
-    (O(p)-sized) marginal vectors, as the PRO model permits.
+    (O(p)-sized) marginal vectors, as the PRO model permits.  ``kernels`` is
+    accepted for program-signature uniformity and recorded in the cost
+    record; the algorithm itself draws through the scalar samplers.
     """
+    _note_kernel_tier(ctx, kernels)
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     rank, p = ctx.rank, ctx.n_procs
 
@@ -170,6 +184,7 @@ def algorithm6_program(
     *,
     method: str = "auto",
     tile_strategy: str = "auto",
+    kernels=None,
 ) -> np.ndarray:
     """SPMD program: return row ``ctx.rank`` of a random communication matrix.
 
@@ -179,9 +194,12 @@ def algorithm6_program(
     selects the step-3 sampler (``"auto"`` -- the default, resolving to the
     vectorized batched engine kernel, the hot path for large tiles --
     ``"sequential"``, ``"recursive"`` or ``"batched"``); all choices draw
-    from the same law.
+    from the same law.  ``kernels`` selects the kernel tier the step-3
+    batched sampler runs on (bit-identical across tiers) and is recorded in
+    the rank's cost record.
     """
     tile_strategy = resolve_tile_strategy(tile_strategy, method)
+    kernels = _note_kernel_tier(ctx, kernels)
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     rank, p = ctx.rank, ctx.n_procs
 
@@ -235,7 +253,7 @@ def algorithm6_program(
     if beta[1] is None:
         beta[1] = np.zeros(col_hi - col_lo, dtype=np.int64)
     tile = commmatrix.sample_matrix(
-        beta[0], beta[1], ctx.rng, method=method, strategy=tile_strategy
+        beta[0], beta[1], ctx.rng, method=method, strategy=tile_strategy, kernels=kernels
     )
     ctx.log_compute(tile.size)
 
@@ -263,6 +281,7 @@ def root_scatter_program(
     *,
     method: str = "auto",
     tile_strategy: str = "auto",
+    kernels=None,
 ) -> np.ndarray:
     """SPMD program: processor 0 samples the whole matrix, rows are scattered.
 
@@ -270,13 +289,15 @@ def root_scatter_program(
     long as ``p^2`` is small compared with the local data size ``n / p``
     (exactly the regime of the paper's experiments).  ``tile_strategy``
     selects the root's sampler (``"auto"`` default -- the vectorized
-    ``"batched"`` engine kernel -- ``"sequential"`` or ``"recursive"``).
+    ``"batched"`` engine kernel -- ``"sequential"`` or ``"recursive"``) and
+    ``kernels`` the kernel tier it runs on (bit-identical across tiers).
     """
     tile_strategy = resolve_tile_strategy(tile_strategy, method)
+    kernels = _note_kernel_tier(ctx, kernels)
     rows, cols = _validate_inputs(ctx, row_sums, col_sums)
     if ctx.rank == 0:
         matrix = commmatrix.sample_matrix(
-            rows, cols, ctx.rng, method=method, strategy=tile_strategy
+            rows, cols, ctx.rng, method=method, strategy=tile_strategy, kernels=kernels
         )
         ctx.log_compute(matrix.size)
         row_payloads = [matrix[i, :] for i in range(ctx.n_procs)]
@@ -305,6 +326,7 @@ def sample_matrix_parallel(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
     seed=None,
     method: str = "auto",
     tile_strategy: str = "auto",
@@ -349,6 +371,12 @@ def sample_matrix_parallel(
         of which must yield the same matrix (results are
         schedule-invariant).  Rejected for backends without the option
         and for pre-configured machines.
+    kernels:
+        Kernel tier for the sampling hot path
+        (``"auto"``/``"numba"``/``"numpy"``; default ``None`` defers to
+        ``REPRO_KERNELS``).  Bit-identical across tiers for a fixed seed;
+        rejected for pre-configured machines (construct the machine with
+        ``kernels=`` instead).
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
@@ -382,6 +410,7 @@ def sample_matrix_parallel(
     machine = resolve_machine(
         rows.size, machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
+        kernels=kernels,
     )
     if machine.n_procs != rows.size:
         raise ValidationError(
@@ -399,7 +428,10 @@ def sample_matrix_parallel(
     else:
         extra = {}
     try:
-        run = machine.run(program, rows, cols, method=method, **extra)
+        run = machine.run(
+            program, rows, cols, method=method,
+            kernels=getattr(machine, "kernels", None), **extra,
+        )
     finally:
         if owns_machine:
             # Releases call-private resources only: fleets borrowed from

@@ -50,17 +50,27 @@ __all__ = [
 ]
 
 
-def local_shuffle(values: np.ndarray, rng) -> np.ndarray:
+def local_shuffle(values: np.ndarray, rng, kernels=None) -> np.ndarray:
     """Return a uniformly shuffled copy of ``values`` using ``rng``.
 
     Accepts both plain NumPy generators and
     :class:`~repro.rng.counting.CountingRNG` wrappers; the Fisher-Yates cost
-    of ``len(values) - 1`` variates is what the wrapper records.
+    of ``len(values) - 1`` variates is what the wrapper records.  ``kernels``
+    selects the kernel tier (see :mod:`repro.core.kernels`); the compiled
+    tier draws the Fisher-Yates permutation with a jitted kernel and gathers
+    ``values`` through it -- bit-identical to ``rng.shuffle`` on the same
+    seed -- and any tier that declines falls back to the in-place shuffle.
     """
     arr = np.asarray(values)
+    if arr.shape[0] <= 1:
+        return arr.copy()
+    from repro.core.kernels import resolve_kernels
+
+    perm = resolve_kernels(kernels).permutation(rng, arr.shape[0])
+    if perm is not None:
+        return arr[perm]
     out = arr.copy()
-    if out.shape[0] > 1:
-        rng.shuffle(out)
+    rng.shuffle(out)
     return out
 
 
@@ -93,6 +103,7 @@ def parallel_permutation_program(
     *,
     matrix_algorithm: str = "root",
     method: str = "auto",
+    kernels=None,
 ) -> np.ndarray:
     """SPMD program implementing Algorithm 1.
 
@@ -112,6 +123,10 @@ def parallel_permutation_program(
         variant used in the paper's experiments), ``"alg5"`` or ``"alg6"``.
     method:
         Hypergeometric sampling method forwarded to the samplers.
+    kernels:
+        Kernel-tier request (see :mod:`repro.core.kernels`); resolved once
+        per rank, recorded in the rank's cost record, and forwarded to the
+        shuffles and the matrix program.  Bit-identical across tiers.
 
     Returns
     -------
@@ -143,15 +158,22 @@ def parallel_permutation_program(
                 "target_sizes must redistribute exactly the items present in the blocks"
             )
 
+    # Resolve the kernel tier once per rank; the cost record carries which
+    # tier actually ran here (and its JIT warm-up cost) back to the parent.
+    from repro.core.kernels import resolve_kernels
+
+    tier = resolve_kernels(kernels)
+    ctx.cost.note_kernel_tier(tier.name, tier.warmup_seconds)
+
     # Superstep 1: local shuffle.
-    shuffled = local_shuffle(local, ctx.rng)
+    shuffled = local_shuffle(local, ctx.rng, kernels=tier)
     ctx.log_compute(len(shuffled))
     ctx.cost.allocate(len(shuffled))
     ctx.comm.barrier()
 
     # Superstep 2: sample the communication matrix and exchange the data.
     matrix_program = MATRIX_ALGORITHMS[matrix_algorithm]
-    my_row = matrix_program(ctx, source_sizes, targets, method=method)
+    my_row = matrix_program(ctx, source_sizes, targets, method=method, kernels=tier)
 
     pieces = cut_rows(shuffled, my_row)
     received = ctx.comm.alltoallv(pieces)
@@ -162,7 +184,7 @@ def parallel_permutation_program(
         incoming = np.concatenate(received)
     else:  # pragma: no cover - a machine always has >= 1 processor
         incoming = np.empty(0, dtype=local.dtype)
-    result = local_shuffle(incoming, ctx.rng)
+    result = local_shuffle(incoming, ctx.rng, kernels=tier)
     ctx.log_compute(len(result))
     ctx.cost.allocate(len(result))
     return result
@@ -182,6 +204,7 @@ def permute_distributed(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -199,9 +222,12 @@ def permute_distributed(
     forces the cold path (fresh processes for this call) and ``True``
     makes the warm request explicit; all modes are seed-invariant.
     ``schedule_seed`` picks the sim backend's rank interleaving
-    (``backend="sim"``; every schedule yields the same blocks).  The
-    returned blocks follow ``target_sizes`` (defaulting to the input
-    sizes); the second element of the returned pair is the machine's
+    (``backend="sim"``; every schedule yields the same blocks).
+    ``kernels`` selects the kernel tier each rank runs the sampling hot
+    path on (``"auto"``/``"numba"``/``"numpy"``; also seed-invariant --
+    the tiers are bit-identical).  The returned blocks follow
+    ``target_sizes`` (defaulting to the input sizes); the second element
+    of the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
 
     Examples
@@ -218,6 +244,7 @@ def permute_distributed(
     machine = resolve_machine(
         len(blocks), machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
+        kernels=kernels,
     )
     if machine.n_procs != len(blocks):
         raise ValidationError(
@@ -230,6 +257,7 @@ def permute_distributed(
             target_sizes,
             matrix_algorithm=matrix_algorithm,
             method=method,
+            kernels=getattr(machine, "kernels", None),
         )
     finally:
         if owns_machine:
@@ -251,6 +279,7 @@ def random_permutation(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -266,8 +295,9 @@ def random_permutation(
     ``"sim"``, ``"inline"``), ``transport`` the process backend's payload
     path (``"sharedmem"``/``"pickle"``), ``persistent`` the standing-fleet
     mode (``None`` = warm by default on the process backend via the
-    default pool cache, ``False`` = cold spawn, ``True`` = explicit warm)
-    and ``schedule_seed`` the sim backend's rank interleaving.  A fixed
+    default pool cache, ``False`` = cold spawn, ``True`` = explicit warm),
+    ``schedule_seed`` the sim backend's rank interleaving and ``kernels``
+    the sampling kernel tier (``"auto"``/``"numba"``/``"numpy"``).  A fixed
     ``seed`` is bit-identical across every combination of them.
 
     Examples
@@ -303,6 +333,7 @@ def random_permutation(
         transport=transport,
         persistent=persistent,
         schedule_seed=schedule_seed,
+        kernels=kernels,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -319,15 +350,16 @@ def random_permutation_indices(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
 
     Equivalent to ``random_permutation(np.arange(n), ...)`` and takes the
     same machine options (``backend=``, ``transport=``, ``persistent=`` --
-    warm by default on the process backend -- and ``schedule_seed=``; a
-    fixed ``seed`` is bit-identical across all of them); this is the form
-    the statistical uniformity tests consume.
+    warm by default on the process backend -- ``schedule_seed=`` and
+    ``kernels=``; a fixed ``seed`` is bit-identical across all of them);
+    this is the form the statistical uniformity tests consume.
 
     Examples
     --------
@@ -347,5 +379,6 @@ def random_permutation_indices(
         transport=transport,
         persistent=persistent,
         schedule_seed=schedule_seed,
+        kernels=kernels,
         seed=seed,
     )

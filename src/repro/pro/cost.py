@@ -80,6 +80,8 @@ class CostRecorder:
         self._supersteps: list[SuperstepCost] = [SuperstepCost()]
         self.memory_words_peak = 0
         self._memory_words_current = 0
+        self.kernel_tier: str | None = None
+        self.kernel_warmup_seconds = 0.0
 
     # -- superstep structure ------------------------------------------------
     @property
@@ -127,6 +129,17 @@ class CostRecorder:
         """Record ``words`` of memory released."""
         self._memory_words_current = max(0, self._memory_words_current - int(words))
 
+    def note_kernel_tier(self, name: str, warmup_seconds: float = 0.0) -> None:
+        """Record which sampling kernel tier this rank actually ran.
+
+        Programs call this after resolving their ``kernels=`` request (see
+        :mod:`repro.core.kernels`), so the parent can report the tier -- and
+        the one-time JIT warm-up cost it paid -- per rank even when the rank
+        executed in another process.
+        """
+        self.kernel_tier = str(name)
+        self.kernel_warmup_seconds = float(warmup_seconds)
+
     # -- summaries ------------------------------------------------------------
     def total(self) -> SuperstepCost:
         """Sum of all supersteps."""
@@ -148,6 +161,8 @@ class CostRecorder:
             "messages_received": tot.messages_received,
             "random_variates": tot.random_variates,
             "memory_words_peak": self.memory_words_peak,
+            "kernel_tier": self.kernel_tier,
+            "kernel_warmup_seconds": self.kernel_warmup_seconds,
         }
 
 
@@ -266,6 +281,17 @@ class CostReport:
     def n_supersteps(self) -> int:
         """Number of supersteps of the longest-running processor."""
         return max(len(rec.supersteps) for rec in self.recorders)
+
+    def kernel_tiers(self) -> list[tuple[str | None, float]]:
+        """Per-rank ``(kernel_tier, warmup_seconds)`` pairs, ordered by rank.
+
+        ``kernel_tier`` is ``None`` for ranks whose program never noted a
+        tier (programs that predate the kernel registry, or plain compute
+        programs with no sampling hot path).
+        """
+        return [
+            (rec.kernel_tier, rec.kernel_warmup_seconds) for rec in self.recorders
+        ]
 
     # -- BSP/PRO-style predicted time ----------------------------------------
     def predicted_time(

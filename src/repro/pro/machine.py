@@ -151,6 +151,14 @@ class PROMachine:
         and are released by
         :func:`repro.pro.backends.pool.clear_default_pools` or at
         interpreter exit).
+    kernels:
+        Kernel-tier request for the sampling hot paths
+        (``"auto"``/``"numba"``/``"numpy"``; ``None`` defers to the
+        ``REPRO_KERNELS`` environment variable).  The machine itself only
+        validates and stores it; the drivers forward :attr:`kernels` into
+        the programs they run, where each rank resolves it against
+        :mod:`repro.core.kernels`.  Bit-identical across tiers for a
+        fixed seed.
     """
 
     def __init__(
@@ -164,11 +172,20 @@ class PROMachine:
         count_random_variates: bool = False,
         timeout: float = 60.0,
         persistent: bool = False,
+        kernels: str | None = None,
     ):
         self.n_procs = check_positive_int(n_procs, "n_procs")
         self._stream_factory = StreamFactory(seed)
         self.count_random_variates = bool(count_random_variates)
         self.timeout = float(timeout)
+        if kernels is not None:
+            # Validate the request eagerly (unknown names fail at machine
+            # construction, not mid-run on a worker); resolution to an
+            # actual tier happens per rank inside the programs.
+            from repro.core.kernels import normalize_kernels
+
+            kernels = normalize_kernels(kernels)
+        self.kernels = kernels
         if persistent:
             if not isinstance(backend, str):
                 raise ValidationError(
@@ -305,6 +322,7 @@ def resolve_machine(
     transport: str | object | None = None,
     persistent: bool | None = None,
     schedule_seed: int | None = None,
+    kernels: str | None = None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -327,7 +345,11 @@ def resolve_machine(
     forces the old cold path (fresh processes per call);
     ``persistent=True`` makes the warm request explicit (and is rejected,
     like the other options, by backends without the option and by
-    pre-configured machines).  None of these options affect what the ranks
+    pre-configured machines).  ``kernels`` selects the sampling kernel
+    tier the drivers forward into their programs
+    (``"auto"``/``"numba"``/``"numpy"``); like the other options it is
+    rejected for pre-configured machines (build the machine with
+    ``kernels=`` instead).  None of these options affect what the ranks
     draw: a fixed ``seed`` stays bit-identical across all of them.
 
     Examples
@@ -356,7 +378,7 @@ def resolve_machine(
             options.setdefault("pool_scope", "process")
         return PROMachine(
             n_procs, seed=seed, backend=name,
-            backend_options=options, persistent=warm,
+            backend_options=options, persistent=warm, kernels=kernels,
         )
     if backend is not None:
         raise ValidationError(
@@ -376,5 +398,10 @@ def resolve_machine(
         raise ValidationError(
             "pass either a pre-configured machine or schedule_seed, not both "
             "(configure the machine's sim backend with schedule_seed instead)"
+        )
+    if kernels is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or kernels, not both "
+            "(build the machine with kernels= instead)"
         )
     return machine

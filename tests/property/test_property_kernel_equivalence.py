@@ -1,0 +1,139 @@
+"""Property-based bit-exactness of the kernel tier (hypothesis).
+
+Randomized parameter sweeps over the same contract
+``tests/unit/test_kernel_equivalence.py`` pins on fixed grids: for every
+(seed, parameters) pair the portable kernel bodies must produce exactly the
+arrays NumPy produces *and* leave the generator on exactly the same stream
+position.  Without numba installed the bodies run as plain Python, which is
+the same arithmetic the JIT compiles.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import hypergeometric as hg
+from repro.core.engine import SamplerEngine
+from repro.core.kernels import wordstream
+from repro.core.kernels.numba_tier import NumbaKernels
+
+_TIER = NumbaKernels().warm_up()
+_ORACLE = SamplerEngine("auto", kernels="numpy")
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _pair(seed):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+class TestPermutationProperties:
+    @given(seed=seeds, n=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_shuffle_and_stream(self, seed, n):
+        g1, g2 = _pair(seed)
+        perm = _TIER.permutation(g1, n)
+        ref = np.arange(n)
+        g2.shuffle(ref)
+        assert np.array_equal(perm, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))
+
+
+class TestRepeatProperties:
+    @given(
+        seed=seeds,
+        w=st.integers(min_value=1, max_value=400),
+        b=st.integers(min_value=1, max_value=400),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_generator_hypergeometric(self, seed, w, b, data):
+        # Non-degenerate draws only: the engine resolves trivial parameters
+        # before the tier is consulted.
+        t = data.draw(st.integers(min_value=1, max_value=w + b - 1))
+        size = data.draw(st.integers(min_value=1, max_value=30))
+        g1, g2 = _pair(seed)
+        mine = _TIER.repeat_hypergeometric(g1, w, b, t, size)
+        ref = g2.hypergeometric(w, b, t, size)
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))
+
+
+class TestBlockedScalarProperties:
+    @given(
+        seed=seeds,
+        w=st.integers(min_value=1, max_value=120),
+        b=st.integers(min_value=1, max_value=120),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_hin_matches_loop(self, seed, w, b, data):
+        t = data.draw(st.integers(min_value=1, max_value=w + b - 1))
+        g1, g2 = _pair(seed)
+        mine, used = wordstream.blocked_scalar_many(g1, "hin", t, w, b, 12)
+        ref = np.array([hg.sample_hin(t, w, b, g2) for _ in range(12)])
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))
+        assert used.sum() >= 12  # HIN draws at least one uniform per variate
+
+    @given(
+        seed=seeds,
+        w=st.integers(min_value=12, max_value=200),
+        b=st.integers(min_value=12, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_hrua_matches_loop(self, seed, w, b, data):
+        # HRUA's own validity region: 10 <= sample <= good + bad - 10.
+        t = data.draw(st.integers(min_value=10, max_value=w + b - 10))
+        g1, g2 = _pair(seed)
+        mine, _ = wordstream.blocked_scalar_many(g1, "hrua", t, w, b, 12)
+        ref = np.array([hg.sample_hrua(t, w, b, g2) for _ in range(12)])
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))
+
+
+class TestTreeProperties:
+    @given(
+        seed=seeds,
+        sizes=st.lists(
+            st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=7),
+            min_size=1,
+            max_size=3,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multivariate_batch_matches_engine(self, seed, sizes, data):
+        sizes = np.asarray(sizes, dtype=np.int64)
+        draws = np.array(
+            [data.draw(st.integers(min_value=0, max_value=int(row.sum())))
+             for row in sizes],
+            dtype=np.int64,
+        )
+        g1, g2 = _pair(seed)
+        mine = _TIER.multivariate_batch(g1, draws, sizes)
+        ref = _ORACLE.multivariate_batch(draws, sizes, g2)
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))
+
+    @given(
+        seed=seeds,
+        rows=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=6),
+        n_cols=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sample_matrix_matches_engine(self, seed, rows, n_cols, data):
+        rows = np.asarray(rows, dtype=np.int64)
+        total = int(rows.sum())
+        # Random column split with the same total (valid marginals).
+        cuts = sorted(
+            data.draw(st.integers(min_value=0, max_value=total))
+            for _ in range(n_cols - 1)
+        )
+        cols = np.diff([0, *cuts, total]).astype(np.int64)
+        g1, g2 = _pair(seed)
+        mine = _TIER.sample_matrix(g1, rows, cols)
+        ref = _ORACLE.sample_matrix_batched(rows, cols, g2)
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(2), g2.random(2))

@@ -35,8 +35,8 @@ class TestDocsSite:
     def test_site_skeleton_exists(self):
         assert (REPO / "mkdocs.yml").exists()
         for page in ("index.md", "architecture.md", "warm-pools.md",
-                     "writing-a-backend.md", "determinism-and-faults.md",
-                     "cli.md"):
+                     "kernels.md", "writing-a-backend.md",
+                     "determinism-and-faults.md", "cli.md"):
             assert (REPO / "docs" / page).exists(), page
 
     def test_no_broken_internal_links(self):
@@ -100,7 +100,7 @@ class TestDocstringExamples:
         assert result.attempted > 0, f"{module.__name__} has no examples"
 
     def test_driver_docstrings_cover_the_machine_options(self):
-        """Every public driver documents all four machine options."""
+        """Every public driver documents all five machine options."""
         from repro.core.api import sample_communication_matrix
         from repro.core.parallel_matrix import sample_matrix_parallel
         from repro.core.permutation import (
@@ -114,6 +114,6 @@ class TestDocstringExamples:
                    random_permutation_indices):
             doc = fn.__doc__
             for option in ("backend", "transport", "persistent",
-                           "schedule_seed"):
+                           "schedule_seed", "kernels"):
                 assert option in doc, (fn.__name__, option)
             assert ">>>" in doc or fn is permute_distributed, fn.__name__

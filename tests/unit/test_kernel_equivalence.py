@@ -1,0 +1,229 @@
+"""Bit-exactness of the compiled kernel tier against the NumPy paths.
+
+The compiled tier consumes raw ``uint64`` words from the same bit generator
+the NumPy code would have used, so for a fixed seed the two tiers must agree
+*bit for bit* -- on every result array and on the generator state afterwards
+(so the tiers can interleave within one run).  These tests exercise the
+portable kernel bodies directly through :class:`NumbaKernels`; without numba
+installed the bodies run as plain Python (``@jit`` is the identity), which
+pins the exact same arithmetic the JIT compiles.  The ``requires_numba``
+cases additionally prove the *compiled* code agrees on hosts that have it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import hypergeometric as hg
+from repro.core.engine import SamplerEngine
+from repro.core.kernels import portable, wordstream
+from repro.core.kernels.numba_tier import NumbaKernels, build
+from repro.core.permutation import local_shuffle, random_permutation_indices
+from repro.rng.counting import CountingRNG
+
+requires_numba = pytest.mark.skipif(
+    not portable.HAVE_NUMBA, reason="numba is not installed"
+)
+
+
+@pytest.fixture(scope="module")
+def tier():
+    """A warmed-up tier (self-verified bit-exact on construction)."""
+    return NumbaKernels().warm_up()
+
+
+def _pair(seed):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+class TestSelfVerification:
+    def test_warm_up_proves_equivalence(self):
+        kernels = NumbaKernels().warm_up()
+        assert kernels.warmup_seconds >= 0.0
+
+    @requires_numba
+    def test_build_compiles_and_verifies(self):
+        assert build().name == "numba"
+
+
+class TestPermutationEquivalence:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 13, 64, 257, 1000])
+    def test_matches_generator_shuffle(self, tier, n):
+        g1, g2 = _pair(100 + n)
+        perm = tier.permutation(g1, n)
+        ref = np.arange(n)
+        g2.shuffle(ref)
+        assert np.array_equal(perm, ref)
+        assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_local_shuffle_cross_tier(self, tier):
+        g1, g2 = _pair(9)
+        a = local_shuffle(np.arange(500) * 2, g1, kernels=tier)
+        b = local_shuffle(np.arange(500) * 2, g2, kernels="numpy")
+        assert np.array_equal(a, b)
+        assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_counting_rng_parity(self, tier):
+        c1 = CountingRNG(np.random.default_rng(4))
+        c2 = CountingRNG(np.random.default_rng(4))
+        a = local_shuffle(np.arange(200), c1, kernels=tier)
+        b = local_shuffle(np.arange(200), c2, kernels="numpy")
+        assert np.array_equal(a, b)
+        assert (c1.integers_drawn, c1.calls) == (c2.integers_drawn, c2.calls)
+
+    def test_back_to_back_draws_interleave(self, tier):
+        """Tier and NumPy calls on one generator stay on one stream."""
+        g1, g2 = _pair(77)
+        first = tier.permutation(g1, 51)
+        ref_first = np.arange(51)
+        g2.shuffle(ref_first)
+        second = g1.random(3)
+        ref_second = g2.random(3)
+        third = tier.permutation(g1, 17)
+        ref_third = np.arange(17)
+        g2.shuffle(ref_third)
+        assert np.array_equal(first, ref_first)
+        assert np.array_equal(second, ref_second)
+        assert np.array_equal(third, ref_third)
+
+
+class TestRepeatHypergeometricEquivalence:
+    GRID = [
+        (30, 40, 20),    # HRUA region
+        (500, 300, 11),  # inversion region (small sample)
+        (8, 9, 4),       # tiny urn, inversion
+        (60, 60, 110),   # sample close to the whole urn (HRUA, untransformed)
+        (1000, 3, 500),  # min(w, b) tiny
+    ]
+
+    @pytest.mark.parametrize("w,b,t", GRID)
+    def test_matches_generator_hypergeometric(self, tier, w, b, t):
+        g1, g2 = _pair(1000 + t)
+        mine = tier.repeat_hypergeometric(g1, w, b, t, 64)
+        ref = g2.hypergeometric(w, b, t, 64)
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_engine_draw_many_cross_tier(self, tier):
+        e_np = SamplerEngine("numpy", kernels="numpy")
+        e_k = SamplerEngine("numpy", kernels=tier)
+        for seed in (0, 1, 2):
+            g1, g2 = _pair(seed)
+            a = e_k.draw_many(500, 300, 400, 64, g1)
+            b = e_np.draw_many(500, 300, 400, 64, g2)
+            assert np.array_equal(a, b)
+            assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_counting_rng_charged_like_the_vectorized_call(self, tier):
+        e_k = SamplerEngine("numpy", kernels=tier)
+        e_np = SamplerEngine("numpy", kernels="numpy")
+        c1 = CountingRNG(np.random.default_rng(8))
+        c2 = CountingRNG(np.random.default_rng(8))
+        assert np.array_equal(e_k.draw_many(50, 60, 70, 32, c1),
+                              e_np.draw_many(50, 60, 70, 32, c2))
+        assert (c1.uniforms_drawn, c1.calls) == (c2.uniforms_drawn, c2.calls)
+
+
+class TestBlockedScalarEquivalence:
+    """The pre-drawn-uniform HIN/HRUA blocks vs the library's scalar loops."""
+
+    @pytest.mark.parametrize("concrete,t,w,b", [
+        ("hin", 5, 20, 30),
+        ("hin", 12, 7, 40),
+        ("hin", 3, 100, 2),
+        ("hrua", 40, 60, 50),
+        ("hrua", 200, 150, 170),
+        ("hrua", 90, 45, 50),
+    ])
+    def test_matches_per_draw_loop(self, concrete, t, w, b):
+        g1, g2 = _pair(3000 + t)
+        scalar = hg.sample_hin if concrete == "hin" else hg.sample_hrua
+        mine, used = wordstream.blocked_scalar_many(g1, concrete, t, w, b, 50)
+        ref = np.array([scalar(t, w, b, g2) for _ in range(50)], dtype=np.int64)
+        assert np.array_equal(mine, ref)
+        assert np.array_equal(g1.random(4), g2.random(4))
+        assert used.min() >= 1
+
+    def test_hin_uniform_counts_match_counting_rng(self):
+        g1 = np.random.default_rng(5)
+        c2 = CountingRNG(np.random.default_rng(5))
+        _, used = wordstream.blocked_scalar_many(g1, "hin", 9, 25, 30, 20)
+        per_call = []
+        for _ in range(20):
+            before = c2.uniforms_drawn
+            hg.sample_hin(9, 25, 30, c2)
+            per_call.append(c2.uniforms_drawn - before)
+        assert used.tolist() == per_call
+
+
+class TestTreeKernelEquivalence:
+    """Splitting-tree kernels vs the NumPy-tier engine, level order and all."""
+
+    def test_multivariate_batch(self, tier):
+        oracle = SamplerEngine("auto", kernels="numpy")
+        cases = [
+            ([14, 6], [[5, 0, 7, 3, 11], [2, 2, 2, 2, 2]]),
+            ([1], [[1]]),
+            ([0, 10], [[0, 4], [5, 5]]),
+            ([200], [[50, 60, 40, 80]]),
+        ]
+        for seed, (draws, sizes) in enumerate(cases):
+            g1, g2 = _pair(4000 + seed)
+            draws = np.asarray(draws, dtype=np.int64)
+            sizes = np.asarray(sizes, dtype=np.int64)
+            mine = tier.multivariate_batch(g1, draws, sizes)
+            ref = oracle.multivariate_batch(draws, sizes, g2)
+            assert np.array_equal(mine, ref), (draws, sizes)
+            assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_sample_matrix(self, tier):
+        oracle = SamplerEngine("auto", kernels="numpy")
+        cases = [
+            ([7, 5, 3, 9, 0, 12], [6, 6, 6, 6, 6, 6]),
+            ([12], [5, 7]),
+            ([3, 3], [6]),
+            ([40, 30, 20, 10], [25, 25, 25, 25]),
+        ]
+        for seed, (rows, cols) in enumerate(cases):
+            g1, g2 = _pair(5000 + seed)
+            mine = tier.sample_matrix(g1, rows, cols)
+            ref = oracle.sample_matrix_batched(rows, cols, g2)
+            assert np.array_equal(mine, ref), (rows, cols)
+            assert np.array_equal(g1.random(4), g2.random(4))
+
+    def test_counting_rng_parity_through_the_engine(self, tier):
+        e_k = SamplerEngine("auto", kernels=tier)
+        e_np = SamplerEngine("auto", kernels="numpy")
+        c1 = CountingRNG(np.random.default_rng(9))
+        c2 = CountingRNG(np.random.default_rng(9))
+        a = e_k.sample_matrix_batched([70, 50, 30], [60, 40, 50], c1)
+        b = e_np.sample_matrix_batched([70, 50, 30], [60, 40, 50], c2)
+        assert np.array_equal(a, b)
+        assert (c1.uniforms_drawn, c1.integers_drawn, c1.calls) == \
+               (c2.uniforms_drawn, c2.integers_drawn, c2.calls)
+
+
+class TestPipelineEquivalence:
+    """Whole-driver cross-tier agreement: the user-visible contract."""
+
+    def test_permutation_pipeline(self, tier):
+        a = random_permutation_indices(400, 3, seed=11, kernels="numpy")
+        b = random_permutation_indices(400, 3, seed=11, kernels=tier)
+        assert np.array_equal(a, b)
+
+    def test_matrix_pipeline(self, tier):
+        from repro.core.api import sample_communication_matrix
+
+        a = sample_communication_matrix([9, 9, 9], seed=3, algorithm="batched",
+                                        kernels="numpy")
+        b = sample_communication_matrix([9, 9, 9], seed=3, algorithm="batched",
+                                        kernels=tier)
+        assert np.array_equal(a, b)
+
+    def test_unsupported_generator_degrades_per_call(self, tier):
+        """MT19937 makes the tier decline; results match numpy's own path."""
+        g1 = np.random.Generator(np.random.MT19937(6))
+        g2 = np.random.Generator(np.random.MT19937(6))
+        a = local_shuffle(np.arange(100), g1, kernels=tier)
+        out = np.arange(100)
+        g2.shuffle(out)
+        assert np.array_equal(a, out)
