@@ -13,10 +13,15 @@ task-queue dispatch to the standing pool.  A fourth, ``warm_driver``,
 measures what a plain repeated *top-level driver call* costs: its
 persistent variant is the warm-by-default path through the process-wide
 default pool cache (ISSUE 5), its cold variant the same call with
-``persistent=False``.  Run with ``--benchmark-json`` to get the same
-pytest-benchmark JSON shape as the rest of the suite (one record per
-(workload, backend, transport, persistent, n, p) with the parameters
-echoed in ``extra_info``).
+``persistent=False``.  A fifth, ``crash_recovery``, measures
+crash-to-recovered latency: every timed call injects a first-attempt
+rank crash (``CrashRank`` ``at_run=0``) under ``retry=2`` and times the
+whole failed-attempt + heal + bit-identical replay sequence -- for
+persistent variants against a standing supervised pool (only the dead
+rank respawns), for cold variants against per-run process spawns.  Run
+with ``--benchmark-json`` to get the same pytest-benchmark JSON shape as
+the rest of the suite (one record per (workload, backend, transport,
+persistent, n, p) with the parameters echoed in ``extra_info``).
 
 Reading the numbers: the thread backend wins at small in-process problem
 sizes (rank start-up is microseconds and NumPy releases the GIL), while
@@ -64,6 +69,8 @@ DISPATCH_POINT = (0, 4)
 #: The warm-driver workload point: small enough that the per-call fixed
 #: cost (machine build + spawn vs warm-pool dispatch) dominates.
 WARM_DRIVER_POINT = (2_000, 4)
+#: The crash-to-recovered latency point (the canonical chaos p).
+CRASH_RECOVERY_POINT = (20_000, 4)
 #: (backend, transport, persistent) variants; None means no transport.
 VARIANTS = [
     ("inline", None, False),
@@ -133,8 +140,47 @@ def _run_warm_driver(backend, transport, n_items, n_procs, *, persistent):
                               persistent=persistent)
 
 
+def _crash_recovery_runner(backend, transport, persistent, n_items, n_procs):
+    """``(callable, closer)`` timing one crash + heal + bit-exact replay.
+
+    ``runs_started`` accumulates on a fault wrapper, so every call wraps
+    a *fresh* ``FaultInjectingBackend`` (its ``at_run=0`` crash fires on
+    the call's first attempt and the replay runs clean).  Persistent
+    variants share one standing inner backend across calls: the timed
+    quantity is then the supervised pool's recovery -- respawn the dead
+    rank into the live fabric -- not a fleet rebuild.
+    """
+    from repro.pro.backends.faults import CrashRank, FaultInjectingBackend
+    from repro.pro.backends.registry import get_backend
+
+    options = _machine_options(transport)
+    inner = (get_backend(backend, persistent=True, **options)
+             if persistent else None)
+    data = np.arange(n_items, dtype=np.int64)
+
+    def call():
+        faulty = FaultInjectingBackend(
+            inner if inner is not None else backend,
+            [CrashRank(rank=1, at_op=1, at_run=0)],
+            **({} if inner is not None else options))
+        machine = PROMachine(n_procs, seed=0, backend=faulty, retry=2)
+        try:
+            return random_permutation(data, machine=machine)
+        finally:
+            if inner is None:
+                machine.close()  # shared inner backends outlive the call
+
+    def closer():
+        close = getattr(inner, "close", None)
+        if close is not None:
+            close()
+
+    return call, closer
+
+
 WORKLOADS = {"matrix": _run_matrix, "permutation": _run_permutation,
-             "dispatch": _run_dispatch, "warm_driver": _run_warm_driver}
+             "dispatch": _run_dispatch, "warm_driver": _run_warm_driver,
+             "crash_recovery": _crash_recovery_runner}
 
 
 def make_runner(workload, backend, transport, persistent, n_items, n_procs):
@@ -149,6 +195,9 @@ def make_runner(workload, backend, transport, persistent, n_items, n_procs):
     keeps the fleet warm between calls, and its closer clears the cache
     so later cells start cold.
     """
+    if workload == "crash_recovery":
+        return _crash_recovery_runner(backend, transport, persistent,
+                                      n_items, n_procs)
     if workload == "warm_driver":
         from repro.pro.backends.pool import clear_default_pools
 
@@ -414,6 +463,8 @@ def collect_records(*, rounds=3):
             points = [DISPATCH_POINT]  # fixed cost is n-independent
         elif workload == "warm_driver":
             points = [WARM_DRIVER_POINT]  # fixed-cost-dominated by design
+        elif workload == "crash_recovery":
+            points = [CRASH_RECOVERY_POINT]  # the canonical chaos p
         elif workload == "matrix":
             # The matrix workload is O(p^2) and n-independent: skip the
             # big-n duplicates of the p=4 cell.

@@ -66,6 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
              "numpy; unset defers to REPRO_KERNELS; seed-identical results "
              "across tiers",
     )
+    retries_kwargs = dict(
+        type=int, default=None, metavar="K",
+        help="total attempts a run gets against transient backend failures "
+             "(crashed ranks, broken barriers): the supervised worker pool "
+             "respawns dead ranks and replays the epoch with the same "
+             "per-rank streams, so recovered output is seed-identical to a "
+             "fault-free run; unset = fail fast (no retry)",
+    )
+    deadline_kwargs = dict(
+        type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole run including retries; when it "
+             "expires the run fails with a DeadlineError instead of waiting "
+             "out communication timeouts (requires --retries)",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -77,6 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
     permute.add_argument("--persistent", **persistent_kwargs)
     permute.add_argument("--schedule-seed", **schedule_seed_kwargs)
     permute.add_argument("--kernels", **kernels_kwargs)
+    permute.add_argument("--retries", **retries_kwargs)
+    permute.add_argument("--deadline", **deadline_kwargs)
     permute.add_argument("--repeats", type=int, default=1,
                          help="how many permutations to run on the same machine "
                               "(with --persistent the spawn cost is paid once)")
@@ -103,6 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--persistent", **persistent_kwargs)
     matrix.add_argument("--schedule-seed", **schedule_seed_kwargs)
     matrix.add_argument("--kernels", **kernels_kwargs)
+    matrix.add_argument("--retries", **retries_kwargs)
+    matrix.add_argument("--deadline", **deadline_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
@@ -136,6 +154,17 @@ def _parse_sizes(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part.strip() != ""]
 
 
+def _resolve_retry(args):
+    """Build the RetryPolicy requested by --retries/--deadline (or None)."""
+    if args.retries is None and args.deadline is None:
+        return None
+    from repro.pro.resilience import RetryPolicy
+
+    # --deadline alone still gets a policy: a single bounded attempt.
+    return RetryPolicy(max_attempts=args.retries if args.retries is not None else 1,
+                       deadline=args.deadline)
+
+
 def _cmd_permute(args) -> int:
     from repro.core.blocks import BlockDistribution
     from repro.core.permutation import permute_distributed
@@ -158,6 +187,7 @@ def _cmd_permute(args) -> int:
         persistent=persistent,
         count_random_variates=True,
         kernels=args.kernels,
+        retry=_resolve_retry(args),
     )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
@@ -200,6 +230,7 @@ def _cmd_matrix(args) -> int:
         persistent=args.persistent,  # likewise parallel-path only
         schedule_seed=args.schedule_seed,  # likewise parallel-path only
         kernels=args.kernels,
+        retry=_resolve_retry(args),  # likewise parallel-path only
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "

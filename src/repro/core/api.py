@@ -38,6 +38,7 @@ def sample_communication_matrix(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry=None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -93,6 +94,12 @@ def sample_communication_matrix(
         (``"auto"``/``"numba"``/``"numpy"``; ``None`` defers to
         ``REPRO_KERNELS``).  Applies to both paths and is bit-identical
         across tiers for a fixed seed; see :mod:`repro.core.kernels`.
+    retry:
+        Transient-failure recovery of the parallel path (an attempt count
+        or a :class:`~repro.pro.resilience.RetryPolicy`): crashed ranks
+        are respawned and the run replayed bit-identically.  Only applies
+        to ``parallel=True`` -- the sequential path has no substrate to
+        recover and rejects it.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -149,6 +156,11 @@ def sample_communication_matrix(
                 "schedule_seed= only applies to parallel=True (the sequential "
                 "path schedules no ranks)"
             )
+        if retry is not None:
+            raise ValidationError(
+                "retry= only applies to parallel=True (the sequential path has "
+                "no execution substrate to recover)"
+            )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
@@ -170,6 +182,7 @@ def sample_communication_matrix(
         persistent=persistent,
         schedule_seed=schedule_seed,
         kernels=kernels,
+        retry=retry,
         seed=seed,
         method=method,
     )

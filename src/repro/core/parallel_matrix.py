@@ -327,6 +327,7 @@ def sample_matrix_parallel(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry=None,
     seed=None,
     method: str = "auto",
     tile_strategy: str = "auto",
@@ -377,6 +378,14 @@ def sample_matrix_parallel(
         ``REPRO_KERNELS``).  Bit-identical across tiers for a fixed seed;
         rejected for pre-configured machines (construct the machine with
         ``kernels=`` instead).
+    retry:
+        Transient-failure recovery policy: ``None`` (default, fail fast),
+        an attempt count, or a
+        :class:`~repro.pro.resilience.RetryPolicy` with backoff, deadline
+        and a fallback-backend chain.  A recovered call samples the
+        matrix bit-identically to a fault-free one (per-rank streams are
+        replayed exactly); rejected for pre-configured machines (build
+        the machine with ``retry=`` instead).
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
@@ -410,7 +419,7 @@ def sample_matrix_parallel(
     machine = resolve_machine(
         rows.size, machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
-        kernels=kernels,
+        kernels=kernels, retry=retry,
     )
     if machine.n_procs != rows.size:
         raise ValidationError(

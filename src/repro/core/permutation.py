@@ -205,6 +205,7 @@ def permute_distributed(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry=None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -225,7 +226,11 @@ def permute_distributed(
     (``backend="sim"``; every schedule yields the same blocks).
     ``kernels`` selects the kernel tier each rank runs the sampling hot
     path on (``"auto"``/``"numba"``/``"numpy"``; also seed-invariant --
-    the tiers are bit-identical).  The returned blocks follow
+    the tiers are bit-identical).  ``retry`` (an attempt count or a
+    :class:`~repro.pro.resilience.RetryPolicy`) turns on transient-failure
+    recovery: crashed ranks are respawned and the run replayed with the
+    same per-rank streams, so a recovered call returns blocks
+    bit-identical to a fault-free one.  The returned blocks follow
     ``target_sizes`` (defaulting to the input sizes); the second element
     of the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
@@ -244,7 +249,7 @@ def permute_distributed(
     machine = resolve_machine(
         len(blocks), machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
-        kernels=kernels,
+        kernels=kernels, retry=retry,
     )
     if machine.n_procs != len(blocks):
         raise ValidationError(
@@ -280,6 +285,7 @@ def random_permutation(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry=None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -296,9 +302,12 @@ def random_permutation(
     path (``"sharedmem"``/``"pickle"``), ``persistent`` the standing-fleet
     mode (``None`` = warm by default on the process backend via the
     default pool cache, ``False`` = cold spawn, ``True`` = explicit warm),
-    ``schedule_seed`` the sim backend's rank interleaving and ``kernels``
-    the sampling kernel tier (``"auto"``/``"numba"``/``"numpy"``).  A fixed
-    ``seed`` is bit-identical across every combination of them.
+    ``schedule_seed`` the sim backend's rank interleaving, ``kernels``
+    the sampling kernel tier (``"auto"``/``"numba"``/``"numpy"``) and
+    ``retry`` the transient-failure recovery policy (an attempt count or
+    a :class:`~repro.pro.resilience.RetryPolicy`).  A fixed ``seed`` is
+    bit-identical across every combination of them -- including recovered
+    runs.
 
     Examples
     --------
@@ -334,6 +343,7 @@ def random_permutation(
         persistent=persistent,
         schedule_seed=schedule_seed,
         kernels=kernels,
+        retry=retry,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -351,15 +361,17 @@ def random_permutation_indices(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry=None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
 
     Equivalent to ``random_permutation(np.arange(n), ...)`` and takes the
     same machine options (``backend=``, ``transport=``, ``persistent=`` --
-    warm by default on the process backend -- ``schedule_seed=`` and
-    ``kernels=``; a fixed ``seed`` is bit-identical across all of them);
-    this is the form the statistical uniformity tests consume.
+    warm by default on the process backend -- ``schedule_seed=``,
+    ``kernels=`` and ``retry=``; a fixed ``seed`` is bit-identical across
+    all of them, recovered runs included); this is the form the
+    statistical uniformity tests consume.
 
     Examples
     --------
@@ -380,5 +392,6 @@ def random_permutation_indices(
         persistent=persistent,
         schedule_seed=schedule_seed,
         kernels=kernels,
+        retry=retry,
         seed=seed,
     )

@@ -24,6 +24,12 @@ environment (SSCRAP on top of MPI / shared memory).  It provides
   :mod:`repro.pro.backends.registry`.  For a fixed machine seed, results
   are bit-identical across backends because the per-rank streams are
   derived in the parent and shipped to wherever the rank runs,
+* :mod:`~repro.pro.resilience` -- transient-failure recovery:
+  :class:`~repro.pro.resilience.RetryPolicy` (attempt budget, backoff,
+  wall-clock :class:`~repro.pro.resilience.Deadline`, graceful-degradation
+  fallback chain) accepted by every machine and driver as ``retry=``;
+  replayed attempts reuse the per-rank streams captured at the first
+  attempt, so a recovered run is bit-identical to a fault-free one,
 * :class:`~repro.pro.communicator.Communicator` -- message passing
   (point-to-point and collective operations built from point-to-point),
 * :mod:`~repro.pro.cost` -- per-processor, per-superstep resource accounting
@@ -48,6 +54,7 @@ from repro.pro.backends.registry import (
     register_backend,
 )
 from repro.pro.machine import PROMachine, ProcessorContext, RunResult
+from repro.pro.resilience import Deadline, RetryPolicy
 from repro.pro.communicator import Communicator
 from repro.pro.cost import (
     CostRecorder,
@@ -78,6 +85,8 @@ __all__ = [
     "assess_run",
     "granularity",
     "Communicator",
+    "RetryPolicy",
+    "Deadline",
     "CostRecorder",
     "CostReport",
     "MachineParameters",

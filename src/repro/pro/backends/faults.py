@@ -73,8 +73,14 @@ class InjectedFault(ReproError):
     Deliberately *not* a :class:`~repro.util.errors.CommunicationError`:
     backends prefer non-communication failures as the root cause when
     picking which rank's error to re-raise, exactly as a real rank crash
-    would be preferred over the barrier breakage it provokes.
+    would be preferred over the barrier breakage it provokes.  It *is*
+    transient (see :func:`~repro.util.errors.is_transient_failure`):
+    injected faults model substrate failures, so retry policies treat a
+    faulted run as recoverable -- which is exactly what lets chaos plans
+    exercise the recovery paths of :mod:`repro.pro.resilience`.
     """
+
+    transient = True
 
 
 # ----------------------------------------------------------------------------
@@ -87,10 +93,17 @@ class CrashRank:
     Operation indices count every ``put`` / ``get`` / ``barrier_wait`` the
     rank performs, starting at 0; ``at_op=0`` crashes the rank at its very
     first communication.
+
+    Every fault record carries an optional ``at_run``: ``None`` (default)
+    fires on every run the plan is applied to, an integer restricts the
+    fault to that zero-based run of the wrapping
+    :class:`FaultInjectingBackend` -- with ``at_run=0`` a retried epoch
+    replays fault-free, which is how the chaos suites assert recovery.
     """
 
     rank: int
     at_op: int = 0
+    at_run: int | None = None
 
 
 @dataclass(frozen=True)
@@ -105,6 +118,7 @@ class DropMessage:
     src: int
     dst: int
     nth: int = 0
+    at_run: int | None = None
 
 
 @dataclass(frozen=True)
@@ -124,6 +138,7 @@ class DelayMessage:
     dst: int
     nth: int = 0
     by: int = 1
+    at_run: int | None = None
 
 
 @dataclass(frozen=True)
@@ -138,6 +153,7 @@ class BarrierTimeout:
 
     rank: int
     nth: int = 0
+    at_run: int | None = None
 
 
 @dataclass(frozen=True)
@@ -153,6 +169,7 @@ class AbortTransfer:
     src: int
     dst: int
     nth: int = 0
+    at_run: int | None = None
 
 
 _FAULT_TYPES = (CrashRank, DropMessage, DelayMessage, BarrierTimeout, AbortTransfer)
@@ -170,6 +187,18 @@ class FaultPlan:
                     f"{', '.join(t.__name__ for t in _FAULT_TYPES)}"
                 )
         self.faults = faults
+
+    def for_run(self, run_index: int) -> "FaultPlan":
+        """The sub-plan active on the ``run_index``-th run of the wrapper.
+
+        Records with ``at_run=None`` are active on every run; records
+        pinned to a run only fire there, so a chaos plan of ``at_run=0``
+        faults yields an *empty* plan for the retry attempt.
+        """
+        return FaultPlan(
+            fault for fault in self.faults
+            if getattr(fault, "at_run", None) in (None, run_index)
+        )
 
     def owned_by(self, rank: int) -> tuple:
         """The records acted out by ``rank`` (crashes, sends, barriers)."""
@@ -333,6 +362,11 @@ class FaultInjectingBackend:
     def __init__(self, backend, faults, **backend_options):
         self._backend = resolve_backend(backend, **backend_options)
         self.plan = faults if isinstance(faults, FaultPlan) else FaultPlan(faults)
+        #: How many ``run()`` calls this wrapper has dispatched; fault
+        #: records pinned with ``at_run=k`` fire on the k-th one only.
+        #: A retry policy's second attempt is a fresh ``run()``, so
+        #: ``at_run=0`` plans replay fault-free on retry.
+        self.runs_started = 0
 
     @property
     def name(self) -> str:
@@ -351,8 +385,10 @@ class FaultInjectingBackend:
         return self._backend.create_fabric(n_procs, timeout=timeout)
 
     def run(self, contexts: Sequence, program: Callable, args: tuple, kwargs: dict) -> list:
+        run_index = self.runs_started
+        self.runs_started += 1
         return self._backend.run(
-            contexts, _FaultedProgram(program, self.plan), args, kwargs
+            contexts, _FaultedProgram(program, self.plan.for_run(run_index)), args, kwargs
         )
 
     def close(self) -> None:

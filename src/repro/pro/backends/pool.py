@@ -50,15 +50,29 @@ in-band ``pickle`` transport large-argument workloads can be slower
 than cold fork -- prefer ``sharedmem``, or keep huge constant state out
 of the per-run arguments.
 
-Crash semantics
----------------
+Crash semantics and supervision
+-------------------------------
 A rank that raises, or a worker process that dies mid-run, **poisons**
-the pool: the current ``run()`` raises ``BackendError``, every later
-``run()`` raises immediately, and only ``close()`` (idempotent, also
-registered with ``atexit``) releases the resources.  Poisoning is
-deliberate -- after a broken barrier or an interrupted exchange the
-fabric may hold stray messages, and silently reusing it could corrupt a
-later run's results.  Build a fresh machine to continue.
+the pool: the current ``run()`` raises ``BackendError`` (a
+:class:`~repro.util.errors.TransientBackendError` when the root cause is
+a substrate failure), every later ``run()`` raises immediately, and only
+``close()`` (idempotent, also registered with ``atexit``) releases the
+resources.  Poisoning is deliberate -- after a broken barrier or an
+interrupted exchange the fabric may hold stray messages, and silently
+reusing it could corrupt a later run's results.
+
+The poison can be lifted *explicitly* through :meth:`WorkerPool.heal`,
+the supervision hook the resilience layer (:mod:`repro.pro.resilience`)
+calls between retry attempts: the pool stops and reaps exactly the
+suspect ranks (those that failed, died or never reported in the poisoned
+epoch), drains their task queues and the poisoned epoch's straggler
+results (disposing out-of-band records), restores the standing fabric
+(:meth:`~repro.pro.backends.process.ProcessFabric.heal`: inbox drain,
+barrier reset, fresh sender rings for the replacements) and respawns
+**only the dead ranks** into it.  Survivor ranks keep their processes,
+their warm transports and their PIDs.  Because per-rank streams are
+rebuilt by the machine for every attempt, the replayed epoch is
+bit-identical to a fault-free run.
 
 ``close()`` drains and disposes undelivered records and retires every
 shared-memory ring segment, so a full lifecycle leaks no segments and no
@@ -84,7 +98,16 @@ from repro.pro.backends.process import (
 )
 from repro.pro.backends.transport import PayloadTransport
 from repro.pro.communicator import Communicator
-from repro.util.errors import BackendError, CommunicationError, ValidationError
+from repro.pro.resilience import current_deadline
+from repro.util.errors import (
+    BackendError,
+    CommunicationError,
+    DeadlineError,
+    TransientBackendError,
+    ValidationError,
+    wrap_rank_failure,
+)
+from repro.util.timeouts import scale_timeout
 
 try:  # optional: widens program serialisation to closures/lambdas
     import cloudpickle as _cloudpickle
@@ -126,12 +149,17 @@ def _pool_worker_main(rank: int, fabric: ProcessFabric, task_queue,
         if raw is None:
             return
         task = pickle.loads(raw)
-        epoch, receipts, rng, cost, program_blob, args_record = task
+        (epoch, receipts, rng, cost, program_blob, args_record,
+         wait_timeout) = task
         # Scope this run's message tags to its epoch and drop anything a
         # previous run parked but never consumed: stale messages must not
         # satisfy a later run's receive (the one-shot backend gets this
         # for free by discarding the whole fabric).
         fabric.epoch = epoch
+        # Every dispatch re-stamps the fabric wait budget: runs under a
+        # resilience deadline clamp it so a stuck receive/barrier surfaces
+        # inside the remaining budget instead of the standing default.
+        fabric.timeout = wait_timeout
         fabric._parked.clear()
         for receipt in receipts:
             try:
@@ -182,6 +210,14 @@ def _pool_worker_main(rank: int, fabric: ProcessFabric, task_queue,
                 fabric.abort()
             except Exception:
                 pass
+            try:
+                # Siblings parked in queue receives fail fast too (the
+                # barrier abort alone cannot reach them) and exit through
+                # their own clean error paths -- which is what lets heal()
+                # join them instead of terminating readers mid-lock.
+                fabric.poison_waits(epoch)
+            except Exception:
+                pass
             result_queue.put((epoch, rank, False, _portable_exception(exc)))
             return
 
@@ -225,12 +261,16 @@ class WorkerPool:
         #: hitting the same default-cache fleet) serialise here instead
         #: of corrupting each other's dispatch.
         self._run_lock = threading.Lock()
+        self._mp = mp  # kept for heal(): replacements spawn from the same context
         self.fabric = ProcessFabric(n_procs, timeout=timeout, mp_context=mp,
                                     transport=transport)
         self._task_queues = [mp.Queue() for _ in range(n_procs)]
         self._result_queue = mp.Queue()
         self._epoch = 0
         self._poison_reason: str | None = None
+        #: Ranks implicated in the poisoned epoch (failed, died, or never
+        #: reported): exactly the set heal() stops and respawns.
+        self._suspect_ranks: set = set()
         self._closed = False
         #: Ring receipts released by parent-side result views since the
         #: last dispatch (appended from weakref finalizers; popped -- an
@@ -298,7 +338,9 @@ class WorkerPool:
         if self._closed:
             raise BackendError("the worker pool is closed; build a new machine")
         if self._poison_reason is not None:
-            raise BackendError(
+            # Transient: heal() can lift the poison, so retry policies may
+            # treat a poisoned standing fleet as recoverable substrate.
+            raise TransientBackendError(
                 f"the worker pool is poisoned ({self._poison_reason}); "
                 "build a new machine to continue"
             )
@@ -310,14 +352,18 @@ class WorkerPool:
         dead = [rank for rank, proc in enumerate(self._workers)
                 if not proc.is_alive()]
         if dead:
+            self._suspect_ranks.update(dead)
             self._poison(f"worker rank {dead[0]} died between runs")
-            raise BackendError(
+            raise TransientBackendError(
                 f"the worker pool is poisoned ({self._poison_reason}); "
                 "build a new machine to continue"
             )
         self._epoch += 1
         epoch = self._epoch
         receipts = self._drain_receipts()
+        run_deadline = current_deadline()
+        wait_timeout = (self.timeout if run_deadline is None
+                        else run_deadline.clamp(self.timeout))
         # Serialise the whole epoch *eagerly* in the parent: a task that
         # cannot be pickled must raise here, as a clear BackendError,
         # before any rank has been dispatched (handing raw objects to the
@@ -339,7 +385,7 @@ class WorkerPool:
                 ctx = contexts[rank]
                 task_blobs.append(_dumps(
                     (epoch, receipts.get(rank, []), ctx.rng, ctx.cost,
-                     program_blob, args_records[rank])
+                     program_blob, args_records[rank], wait_timeout)
                 ))
         except Exception as exc:
             for record in args_records:
@@ -376,6 +422,14 @@ class WorkerPool:
                 failed.append((rank, entry[1]))
         if failed:
             self._poison(f"rank {failed[0][0]} failed during run {epoch}")
+            # A failing rank exits its main loop by contract, and a rank
+            # that never reported is dead or wedged: both are suspects for
+            # heal() to reap and respawn.  Ranks that reported success are
+            # alive and keep looping on their task queues.
+            self._suspect_ranks.update(
+                rank for rank in range(n)
+                if outcomes.get(rank) is None or outcomes[rank][0] is not True
+            )
             for rank in range(n):  # undecoded successes may hold segments
                 entry = outcomes.get(rank)
                 if entry is not None and entry[0]:
@@ -390,7 +444,7 @@ class WorkerPool:
             )
             rank, exc = primary
             if isinstance(exc, Exception):
-                raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+                raise wrap_rank_failure(rank, exc) from exc
             raise exc  # KeyboardInterrupt and friends propagate unchanged
 
         results: list = [None] * n
@@ -460,9 +514,41 @@ class WorkerPool:
         outcomes: dict = {}
         aborted = False
         deadline = None
+        run_deadline = current_deadline()
         while len(outcomes) < n:
             if deadline is not None and time.monotonic() > deadline:
                 break
+            if run_deadline is not None and run_deadline.expired:
+                # The resilience deadline ran out while ranks were still
+                # outstanding (workers hung outside fabric waits, or the
+                # clamped fabric timeout has not fired yet): poison, break
+                # the barrier, release what did arrive and surface the
+                # typed error -- deliberately not transient.
+                self._suspect_ranks.update(
+                    rank for rank in range(n)
+                    if outcomes.get(rank) is None
+                    or outcomes[rank][0] is not True
+                )
+                self._poison(f"run {epoch} exceeded its deadline")
+                try:
+                    self.fabric.abort()
+                except Exception:
+                    pass
+                try:
+                    self.fabric.poison_waits(epoch)
+                except Exception:
+                    pass
+                for entry in outcomes.values():
+                    if entry[0] is True:
+                        try:
+                            self.fabric.transport.dispose(entry[1][0])
+                        except Exception:
+                            pass
+                raise DeadlineError(
+                    f"persistent run {epoch} exceeded its "
+                    f"{run_deadline.seconds:g}s deadline with "
+                    f"{n - len(outcomes)} rank(s) still outstanding"
+                )
             try:
                 e, rank, ok, payload = self._result_queue.get(timeout=0.2)
             except _pyqueue.Empty:
@@ -472,7 +558,15 @@ class WorkerPool:
                         self.fabric.abort()
                     except Exception:
                         pass
-                    deadline = time.monotonic() + max(self.shutdown_grace, 1.0)
+                    try:
+                        # A hard-crashed rank never ran its own failure
+                        # path: unblock siblings parked in receives so
+                        # they report (and exit joinably) within grace.
+                        self.fabric.poison_waits(epoch)
+                    except Exception:
+                        pass
+                    deadline = (time.monotonic()
+                                + scale_timeout(max(self.shutdown_grace, 1.0)))
                 continue
             except Exception:  # pragma: no cover - truncated pickle after a kill
                 continue
@@ -496,6 +590,136 @@ class WorkerPool:
             outcomes[rank] = (ok, payload)
         return outcomes
 
+    # -- supervision --------------------------------------------------------
+    def heal(self) -> bool:
+        """Lift the poison by respawning exactly the dead ranks (supervision).
+
+        Returns True when the fleet is ready to run again, False when it
+        cannot be recovered (closed, inherited across a fork, or a suspect
+        worker refused to die) -- the caller should fall back to a fresh
+        pool or another backend.  A live, unpoisoned pool heals trivially.
+
+        Recovery steps, in order:
+
+        1. every *suspect* rank -- implicated in the poisoned epoch or
+           found dead -- is terminated and joined (survivors that reported
+           success are still blocked on their task queues and are left
+           untouched: they keep their processes, transports and PIDs);
+        2. the suspects' task queues are drained (an undelivered epoch
+           holds encoded argument records) and replaced by fresh queues;
+        3. straggler results of the poisoned epoch are drained from the
+           shared result queue, applying shared-segment receipts and
+           disposing undecoded values;
+        4. the standing fabric is healed
+           (:meth:`~repro.pro.backends.process.ProcessFabric.heal`):
+           inboxes drained and disposed, barrier reset, fresh sender-ring
+           names for the replacements, orphaned shared segments retired;
+        5. replacement workers are spawned for the suspect ranks only,
+           re-handshaking their transports against the healed fabric.
+
+        Determinism is untouched: the machine rebuilds every rank's stream
+        per attempt, so the replayed epoch -- on the mixed fleet of
+        survivors and replacements -- is bit-identical to a fault-free
+        run.
+        """
+        if not self.in_owner_process:
+            return False
+        locked = self._run_lock.acquire(timeout=scale_timeout(2.0 * self.shutdown_grace))
+        if not locked:
+            return False
+        try:
+            return self._heal_locked()
+        finally:
+            self._run_lock.release()
+
+    def _heal_locked(self) -> bool:
+        if self._closed:
+            return False
+        suspects = set(self._suspect_ranks)
+        suspects.update(rank for rank, proc in enumerate(self._workers)
+                        if not proc.is_alive())
+        if self._poison_reason is None and not suspects:
+            return True
+        grace = scale_timeout(self.shutdown_grace)
+        # Let suspects still parked in fabric waits exit on their own
+        # first (poison pills reach receives, the aborted barrier the
+        # rest): a clean exit releases the inbox reader lock a terminate()
+        # could orphan.  Only then terminate genuinely wedged workers.
+        try:
+            self.fabric.poison_waits(self._epoch)
+        except Exception:  # pragma: no cover - queues already broken
+            pass
+        join_until = time.monotonic() + grace
+        for rank in sorted(suspects):
+            proc = self._workers[rank]
+            proc.join(timeout=max(join_until - time.monotonic(), 0.1))
+        for rank in sorted(suspects):
+            proc = self._workers[rank]
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=grace)
+            if proc.is_alive():
+                return False  # unkillable worker: this fleet is lost
+        for rank in sorted(suspects):
+            old_queue = self._task_queues[rank]
+            while True:  # undelivered epochs hold encoded argument records
+                try:
+                    raw = old_queue.get_nowait()
+                except Exception:
+                    break
+                if raw is None:
+                    continue
+                try:
+                    self.fabric.transport.dispose(pickle.loads(raw)[5])
+                except Exception:
+                    pass
+            try:
+                old_queue.close()
+                old_queue.cancel_join_thread()
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+            # A worker killed mid-get can leave the old queue's pipe in a
+            # torn state; the replacement gets a pristine one.
+            self._task_queues[rank] = self._mp.Queue()
+        drain_until = time.monotonic() + scale_timeout(0.25)
+        while True:  # stragglers of the poisoned epoch
+            remaining = drain_until - time.monotonic()
+            try:
+                if remaining > 0:
+                    _e, _rank, ok, payload = self._result_queue.get(
+                        timeout=remaining)
+                else:
+                    _e, _rank, ok, payload = self._result_queue.get_nowait()
+            except _pyqueue.Empty:
+                break
+            except Exception:  # pragma: no cover - truncated pickle
+                continue
+            if ok == _SHARED_ACK:
+                try:
+                    self.fabric.transport.ring_ack(payload)
+                except Exception:
+                    pass
+            elif ok:
+                try:
+                    self.fabric.transport.dispose(payload[0])
+                except Exception:
+                    pass
+        respawned = sorted(suspects)
+        self.fabric.heal(respawned)
+        for rank in respawned:
+            proc = self._mp.Process(
+                target=_pool_worker_main,
+                args=(rank, self.fabric, self._task_queues[rank],
+                      self._result_queue),
+                name=f"pro-pool-{rank}",
+                daemon=True,
+            )
+            self._workers[rank] = proc
+            proc.start()
+        self._suspect_ranks.clear()
+        self._poison_reason = None
+        return True
+
     # -- shutdown -----------------------------------------------------------
     def close(self) -> None:
         """Stop the workers and release every fabric resource (idempotent).
@@ -514,7 +738,7 @@ class WorkerPool:
         """
         if self._closed:
             return
-        locked = self._run_lock.acquire(timeout=2.0 * self.shutdown_grace)
+        locked = self._run_lock.acquire(timeout=scale_timeout(2.0 * self.shutdown_grace))
         try:
             if self._closed:
                 return
@@ -534,12 +758,13 @@ class WorkerPool:
                 task_queue.put(None)
             except Exception:  # pragma: no cover - queue already broken
                 pass
+        grace = scale_timeout(self.shutdown_grace)
         for proc in self._workers:
-            proc.join(timeout=self.shutdown_grace)
+            proc.join(timeout=grace)
         for proc in self._workers:
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=self.shutdown_grace)
+                proc.join(timeout=grace)
         # Dispose undelivered tasks (a rank that died before picking its
         # task up leaves it queued) and results (a poisoned pool may
         # leave some): their out-of-band argument/value segments must be
@@ -572,7 +797,8 @@ class WorkerPool:
                 except Exception:
                     pass
         # Retire the rings and unlink in-flight segments on the fabric.
-        self.fabric.shutdown(drain_timeout=0.25 if self.poisoned else 0.0)
+        self.fabric.shutdown(
+            drain_timeout=scale_timeout(0.25) if self.poisoned else 0.0)
         for task_queue in self._task_queues:
             task_queue.close()
             task_queue.cancel_join_thread()
@@ -644,11 +870,14 @@ def get_default_pool(n_procs: int, *, timeout: float = 60.0, mp_context=None,
     """The process-wide warm :class:`WorkerPool` for this configuration.
 
     Returns the cached standing fleet when one exists for the key
-    ``(n_procs, transport.cache_key(), timeout, start_method)``; a closed
-    or *poisoned* cached fleet is evicted, closed and replaced by a fresh
-    spawn (poison-on-failure eviction), so a crashed run degrades one call
-    and heals itself.  Returns ``None`` -- the caller should keep a
-    private pool -- when the transport opts out of cache keying.
+    ``(n_procs, transport.cache_key(), timeout, start_method)``.  A
+    *poisoned* cached fleet is first healed in place
+    (:meth:`WorkerPool.heal`: only the dead ranks respawn, survivors stay
+    warm); when healing fails -- or the fleet is closed or inherited
+    across a fork -- it is evicted, closed and replaced by a fresh spawn,
+    so a crashed run degrades one call and the cache recovers itself
+    either way.  Returns ``None`` -- the caller should keep a private
+    pool -- when the transport opts out of cache keying.
 
     The cache holds at most ``REPRO_DEFAULT_POOL_CAP`` (default 4) fleets;
     the least recently used one is closed on overflow.  All cached fleets
@@ -676,6 +905,19 @@ def get_default_pool(n_procs: int, *, timeout: float = 60.0, mp_context=None,
                 and not pool.closed and not pool.poisoned):
             _DEFAULT_POOLS.move_to_end(key)
             return pool
+        if (pool is not None and pool.in_owner_process
+                and not pool.closed and pool.poisoned):
+            # Heal in place before evict-and-respawn: only the dead ranks
+            # are replaced, so the warm survivors (and their transports)
+            # are kept.  Healing under the cache lock is acceptable --
+            # poison is rare, and the bounded reap beats a full respawn.
+            try:
+                healed = pool.heal()
+            except Exception:  # pragma: no cover - healing is best effort
+                healed = False
+            if healed:
+                _DEFAULT_POOLS.move_to_end(key)
+                return pool
         if pool is not None:
             # Closed, poisoned, or inherited across a fork (this process
             # does not own those workers): drop the handle and respawn.
@@ -732,7 +974,7 @@ atexit.register(clear_default_pools)
 
 @contextmanager
 def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
-         **machine_options):
+         retry=None, **machine_options):
     """Context manager: a persistent process machine, closed on exit.
 
     ::
@@ -743,7 +985,10 @@ def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
             for _ in range(100):
                 machine.run(program)   # spawn paid once, not 100 times
 
-    Extra keyword arguments are forwarded to
+    ``retry`` (an int or a :class:`~repro.pro.resilience.RetryPolicy`)
+    puts the machine under supervision: a run that fails transiently
+    heals the fleet -- respawning only the dead ranks -- and replays the
+    epoch bit-identically.  Extra keyword arguments are forwarded to
     :class:`~repro.pro.machine.PROMachine` (e.g. ``topology=...`` or
     ``count_random_variates=True``); the backend is always the persistent
     process backend.
@@ -755,7 +1000,8 @@ def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
         backend_options = {**backend_options, "transport": transport}
     machine = PROMachine(
         n_procs, seed=seed, backend="process", persistent=True,
-        backend_options=backend_options, timeout=timeout, **machine_options,
+        backend_options=backend_options, timeout=timeout, retry=retry,
+        **machine_options,
     )
     try:
         yield machine

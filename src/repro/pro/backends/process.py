@@ -59,6 +59,7 @@ import pickle
 import queue as _pyqueue
 import threading
 import time
+import traceback
 import uuid
 from typing import Callable, Sequence
 
@@ -72,7 +73,18 @@ from repro.pro.backends.transport import (
     PickleTransport,
     resolve_transport,
 )
-from repro.util.errors import BackendError, CommunicationError, ValidationError
+from repro.pro.resilience import current_deadline
+from repro.util.errors import (
+    BackendError,
+    CommunicationError,
+    DeadlineError,
+    TransientBackendError,
+    ValidationError,
+    attach_wait_context,
+    is_transient_failure,
+    wrap_rank_failure,
+)
+from repro.util.timeouts import scale_timeout
 
 __all__ = ["ProcessBackend", "ProcessFabric"]
 
@@ -86,6 +98,16 @@ _decode_payload = _PICKLE_CODEC.decode
 #: are transport receipts, not messages: ``get`` applies them to the local
 #: sender rings and keeps waiting for the real message.
 _RING_ACK_TAG = "__ring-ack__"
+
+#: Control-channel tag of run-abort poison pills (see
+#: :meth:`ProcessFabric.poison_waits`).  ``abort()`` only breaks the
+#: *barrier*; a rank blocked in a queue receive keeps waiting out its full
+#: fabric timeout -- while holding the inbox's shared reader lock, which a
+#: ``terminate()`` would orphan and wedge the queue for any respawned
+#: successor.  A poison record makes the blocked receive fail fast with a
+#: :class:`~repro.util.errors.CommunicationError` instead, so the rank
+#: exits cleanly through its own error path.
+_ABORT_TAG = "__abort__"
 
 
 class ProcessFabric:
@@ -235,16 +257,22 @@ class ProcessFabric:
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                raise CommunicationError(
-                    f"rank {dst} timed out after {self.timeout}s waiting for a message "
-                    f"from rank {src} with tag {tag!r}"
+                raise attach_wait_context(
+                    CommunicationError(
+                        f"rank {dst} timed out after {self.timeout}s waiting for a message "
+                        f"from rank {src} with tag {tag!r}"
+                    ),
+                    rank=dst, op="recv", src=src,
                 )
             try:
                 msg_src, msg_tag, record = self._inboxes[dst].get(timeout=remaining)
             except _pyqueue.Empty:
-                raise CommunicationError(
-                    f"rank {dst} timed out after {self.timeout}s waiting for a message "
-                    f"from rank {src} with tag {tag!r}"
+                raise attach_wait_context(
+                    CommunicationError(
+                        f"rank {dst} timed out after {self.timeout}s waiting for a message "
+                        f"from rank {src} with tag {tag!r}"
+                    ),
+                    rank=dst, op="recv", src=src,
                 ) from None
             if msg_tag == _RING_ACK_TAG:
                 # A receiver finished with one of our ring slots: reclaim
@@ -253,6 +281,20 @@ class ProcessFabric:
                     self.transport.ring_ack(record)
                 except Exception:  # pragma: no cover - acks are best effort
                     pass
+                continue
+            if msg_tag == _ABORT_TAG:
+                # Poison pill: the run this receive belongs to was aborted.
+                # Pills are stamped with the epoch they poisoned; one that
+                # outlived its epoch (deposited while this rank was idle)
+                # is stale and ignored.
+                if record is None or self.epoch is None or record == self.epoch:
+                    raise attach_wait_context(
+                        CommunicationError(
+                            f"rank {dst} abandoned a receive from rank {src}: "
+                            "the run was aborted after a rank failure"
+                        ),
+                        rank=dst, op="recv", src=src,
+                    )
                 continue
             payload = self.decode_payload(record, src=msg_src)
             if msg_src == src and msg_tag == tag:
@@ -264,14 +306,96 @@ class ProcessFabric:
         try:
             self._barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError:
-            raise CommunicationError(
-                f"barrier broken or timed out after {self.timeout}s "
-                "(a rank likely crashed or deadlocked)"
+            # Rank-agnostic here; Communicator.barrier stamps the rank.
+            raise attach_wait_context(
+                CommunicationError(
+                    f"barrier broken or timed out after {self.timeout}s "
+                    "(a rank likely crashed or deadlocked)"
+                ),
+                op="barrier",
             ) from None
 
     def abort(self) -> None:
         """Break the barrier so that surviving ranks fail fast after a crash."""
         self._barrier.abort()
+
+    def poison_waits(self, epoch: int | None = None) -> None:
+        """Deposit one abort poison pill per inbox so blocked receives fail fast.
+
+        The complement of :meth:`abort` for queue waits: a rank parked in
+        ``get`` consumes the pill and raises ``CommunicationError``
+        immediately instead of burning the full fabric timeout -- and,
+        crucially for pool supervision, instead of having to be
+        ``terminate()``-ed while it holds its inbox's shared reader lock
+        (an orphaned lock would wedge the inbox for a respawned rank).
+        ``epoch`` scopes the pill on standing fabrics: ranks running a
+        *later* epoch skip stale pills.  Safe to call repeatedly.
+        """
+        for dst in range(self.n_procs):
+            try:
+                self._inboxes[dst].put((-1, _ABORT_TAG, epoch))
+            except Exception:  # pragma: no cover - queue already closed
+                pass
+
+    def heal(self, respawned_ranks: Sequence[int] = ()) -> None:
+        """Restore a *standing* fabric after a failed epoch (pool supervision).
+
+        Called by :meth:`~repro.pro.backends.pool.WorkerPool.heal` once the
+        failed epoch's workers have stopped and before replacements start:
+
+        * every inbox is drained and the undelivered records handed to
+          ``transport.dispose`` (the poisoned epoch's in-flight payloads
+          must not pin shared-memory segments for the fabric's remaining
+          lifetime) -- safe because no run is in flight and idle survivors
+          only read their *task* queues;
+        * the shared barrier, broken by ``abort()``, is reset for reuse;
+        * each respawned rank gets a **fresh sender-ring name** and its old
+          ring is retired: the dead worker owned the old segment, so the
+          replacement re-handshakes its transport from scratch (receivers
+          attach by the name embedded in each record, and survivors never
+          read another rank's ring name, so the swap is race-free);
+        * multi-consumer shared segments whose consumers died before
+          acknowledging are retired (``retire_shared``).
+
+        Ring acks parked in drained inboxes are dropped, not applied: ring
+        bookkeeping lives in the owning worker's process, so a surviving
+        ring keeps any un-acked slots pinned until it adapts or retires --
+        bounded, and irrelevant in the common all-ranks-exited failure.
+        """
+        disposes = True  # duck-typed transports: assume dispose matters
+        if isinstance(self.transport, PayloadTransport):
+            disposes = type(self.transport).dispose is not PayloadTransport.dispose
+        if disposes:
+            # In-band transports skip the drain (nothing out-of-band to
+            # release; epoch-scoped tags already quarantine stale records,
+            # and a worker killed mid-put can leave a truncated pickle the
+            # drain would block on -- hence the abandonable thread).
+            drain = threading.Thread(
+                target=self._drain_and_dispose, args=(scale_timeout(0.25),),
+                name="pro-fabric-heal-drain", daemon=True,
+            )
+            drain.start()
+            drain.join(timeout=scale_timeout(2.0))
+        try:
+            self._barrier.reset()
+        except Exception:  # pragma: no cover - a broken reset fails the heal later
+            pass
+        if self._ring_names is not None and respawned_ranks:
+            token = uuid.uuid4().hex[:12]
+            retired = []
+            for rank in respawned_ranks:
+                retired.append(self._ring_names[rank])
+                self._ring_names[rank] = f"pro{token}r{rank}"
+            try:
+                self.transport.retire_rings(retired)
+            except Exception:  # pragma: no cover - retirement is best effort
+                pass
+        retire_shared = getattr(self.transport, "retire_shared", None)
+        if retire_shared is not None:
+            try:
+                retire_shared()
+            except Exception:  # pragma: no cover - retirement is best effort
+                pass
 
     def shutdown(self, *, drain_timeout: float = 0.0) -> None:
         """Drain undelivered messages and release their transport resources.
@@ -306,7 +430,7 @@ class ProcessFabric:
                 name="pro-fabric-drain", daemon=True,
             )
             drain.start()
-            drain.join(timeout=2.0 + 4.0 * drain_timeout)
+            drain.join(timeout=scale_timeout(2.0) + 4.0 * drain_timeout)
         if self._ring_names is not None:
             try:
                 self.transport.retire_rings(self._ring_names)
@@ -355,12 +479,28 @@ class _VariateCount:
 
 
 def _portable_exception(exc: BaseException) -> BaseException:
-    """Return ``exc`` if it survives pickling, else a summarising BackendError."""
+    """Return ``exc`` if it survives pickling, else a summarising BackendError.
+
+    Either way the worker-side traceback travels along as a plain
+    ``remote_traceback`` string attribute (it rides in the exception's
+    ``__dict__`` through pickling), so the parent's
+    :func:`~repro.util.errors.wrap_rank_failure` can chain the remote
+    stack into the caller-side error.  The unpicklable fallback keeps the
+    original's transient/fatal classification.
+    """
+    tb = traceback.format_exc()
+    try:
+        exc.remote_traceback = tb
+    except Exception:  # pragma: no cover - exotic __slots__ exceptions
+        pass
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
     except Exception:
-        return BackendError(f"{type(exc).__name__}: {exc}")
+        cls = TransientBackendError if is_transient_failure(exc) else BackendError
+        summary = cls(f"{type(exc).__name__}: {exc}")
+        summary.remote_traceback = tb
+        return summary
 
 
 def _worker_main(rank: int, ctx, program, args, kwargs, result_queue) -> None:
@@ -374,7 +514,14 @@ def _worker_main(rank: int, ctx, program, args, kwargs, result_queue) -> None:
         )
     except BaseException as exc:  # noqa: BLE001 - report any rank failure
         try:
-            ctx.comm._fabric.abort()
+            fabric.abort()
+        except Exception:
+            pass
+        try:
+            # The barrier abort cannot reach siblings parked in queue
+            # receives: poison every inbox so they fail fast instead of
+            # waiting out the fabric timeout.
+            fabric.poison_waits()
         except Exception:
             pass
         result_queue.put((rank, False, _portable_exception(exc)))
@@ -428,6 +575,7 @@ class ProcessBackend(ExecutionBackend):
         blocking_p2p=True,
         true_parallelism=True,
         shared_address_space=False,
+        self_healing=True,
     )
 
     def __init__(self, *, start_method: str | None = None, shutdown_grace: float = 5.0,
@@ -508,6 +656,34 @@ class ProcessBackend(ExecutionBackend):
         self._pools.clear()
         self._shared_pools.clear()
 
+    def heal(self) -> bool:
+        """Recover poisoned standing pools in place (resilience hook).
+
+        Called by :func:`~repro.pro.resilience.run_with_recovery` between
+        attempts.  Backend-private pools are healed through
+        :meth:`~repro.pro.backends.pool.WorkerPool.heal` -- only the dead
+        ranks are respawned into the standing fabric; a pool that cannot be
+        healed is dropped so the next run builds a fresh one.  Pools
+        borrowed from the process-wide cache are left to the cache, which
+        heals or evicts them on the next lookup.  Non-persistent runs have
+        nothing standing and always return True.
+        """
+        healthy = True
+        for n_procs, pool in list(self._pools.items()):
+            if n_procs in self._shared_pools:
+                # The default cache owns it; drop our reference so _pool()
+                # re-resolves (and the cache heals/evicts) next run.
+                self._pools.pop(n_procs, None)
+                self._shared_pools.discard(n_procs)
+                continue
+            if pool.closed or not pool.poisoned:
+                continue
+            if not pool.heal():
+                pool.close()
+                self._pools.pop(n_procs, None)
+                healthy = False
+        return healthy
+
     def create_fabric(self, n_procs: int, *, timeout: float) -> ProcessFabric:
         """Build (or, when persistent, reuse) the multiprocess message fabric."""
         if self.persistent:
@@ -566,7 +742,7 @@ class ProcessBackend(ExecutionBackend):
                 elif not entry[0]:
                     failed.append((rank, entry[1]))
             if failed:
-                drain_timeout = 0.25
+                drain_timeout = scale_timeout(0.25)
                 # Undecoded success payloads may hold out-of-band resources.
                 for rank in range(n):
                     entry = outcomes.get(rank)
@@ -582,7 +758,7 @@ class ProcessBackend(ExecutionBackend):
                 )
                 rank, exc = primary
                 if isinstance(exc, Exception):
-                    raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+                    raise wrap_rank_failure(rank, exc) from exc
                 raise exc  # KeyboardInterrupt and friends propagate unchanged
 
             results: list = [None] * n
@@ -611,7 +787,16 @@ class ProcessBackend(ExecutionBackend):
         by the liveness check.
         """
         outcomes: dict = {}
+        deadline = current_deadline()
         while len(outcomes) < n:
+            if deadline is not None and deadline.expired:
+                for proc in workers:
+                    if proc.is_alive():
+                        proc.terminate()
+                raise DeadlineError(
+                    f"run exceeded its {deadline.seconds:g}s deadline with "
+                    f"{n - len(outcomes)} rank(s) still outstanding"
+                )
             try:
                 rank, ok, payload = result_queue.get(timeout=0.2)
                 outcomes[rank] = (ok, payload)
@@ -630,12 +815,13 @@ class ProcessBackend(ExecutionBackend):
         return outcomes
 
     def _reap(self, workers) -> None:
+        grace = scale_timeout(self.shutdown_grace)
         for proc in workers:
-            proc.join(timeout=self.shutdown_grace)
+            proc.join(timeout=grace)
         for proc in workers:
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=self.shutdown_grace)
+                proc.join(timeout=grace)
 
 
 register_backend(

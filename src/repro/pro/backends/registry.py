@@ -74,7 +74,9 @@ backend's :class:`~repro.pro.backends.pool.WorkerPool`:
   one-shot execution;
 * a failed run poisons the standing fleet (subsequent runs raise
   :class:`~repro.util.errors.BackendError`) rather than silently reusing
-  communication state that may hold stray messages;
+  communication state that may hold stray messages; a *supervised* fleet
+  may additionally offer ``heal()`` (see the resilience sub-contract) to
+  lift the poison explicitly -- poison-by-default stays the contract;
 * the backend exposes an idempotent ``close()`` (wired to
   ``PROMachine.close`` and an ``atexit`` hook) that releases every
   out-of-band resource the fleet held.
@@ -87,6 +89,45 @@ private ones -- this is what makes the drivers' repeated
 backend's ``close()`` (the cache owns them: poison-on-failure eviction,
 LRU cap, ``clear_default_pools()`` plus an ``atexit`` hook), and the
 transport's ``cache_key()`` decides which configurations may share one.
+
+Resilience sub-contract (retry, deadlines, self-healing)
+--------------------------------------------------------
+Backends do not orchestrate retries themselves -- that is the machine's
+resilience layer (:mod:`repro.pro.resilience`, enabled by the machine's
+``retry=`` kwarg).  What a backend must (and may) provide for the layer to
+work:
+
+* **Error taxonomy.**  Raise sites use
+  :func:`~repro.util.errors.wrap_rank_failure`, which classifies the
+  caller-side error as :class:`~repro.util.errors.TransientBackendError`
+  when the root cause is a substrate failure (a dead rank, a broken
+  barrier, a timed-out wait -- anything with a truthy ``transient``
+  attribute) and as the plain, fatal
+  :class:`~repro.util.errors.BackendError` for deterministic program
+  bugs, which a bit-identical replay would simply reproduce.  Only
+  transient failures are retried.
+* **Deterministic replay.**  Because per-rank streams are built by the
+  machine in the parent for every attempt (from the *same* captured
+  seed-sequence children), a backend that ships streams correctly makes
+  retried epochs bit-identical to a fault-free run automatically -- no
+  backend code is involved.
+* **Deadlines.**  The machine clamps the fabric timeout it passes to
+  ``create_fabric`` to the attempt's remaining deadline budget, so a
+  stuck barrier or receive surfaces as a typed error within bound; a
+  backend whose parent-side collection loop can outlive the fabric
+  timeout should additionally consult
+  :func:`~repro.pro.resilience.current_deadline` and raise
+  :class:`~repro.util.errors.DeadlineError` when it expires.
+* **Self-healing (optional).**  A backend with standing state may expose
+  ``heal() -> bool``, called between attempts: return True once the next
+  run can proceed on a clean substrate (the process backend respawns only
+  the dead ranks of its poisoned pools into the standing fabric,
+  re-handshaking their transports -- see ``WorkerPool.heal``), or False
+  to make the resilience layer fall through to its degradation chain
+  (``fallback=("thread", "inline")``-style) instead of retrying.  Set
+  ``self_healing=True`` in :class:`BackendCapabilities` when provided.
+  Backends without the hook are retried on a best-effort basis (the
+  machine rebuilds one-shot fabrics per attempt anyway).
 
 Kernel-tier sub-contract (sampling hot paths)
 ---------------------------------------------
@@ -172,6 +213,12 @@ class BackendCapabilities:
         runs step their ranks in the identical order, so schedule-dependent
         failures replay exactly.  Backends whose ranks are scheduled by the
         OS (thread, process) cannot promise this.
+    self_healing:
+        The backend exposes a ``heal()`` hook that recovers its standing
+        state (poisoned worker fleets) between retry attempts, per the
+        resilience sub-contract above.  Backends without it are still
+        retryable -- one-shot substrates are rebuilt per attempt -- but a
+        failed heal cannot be distinguished from "nothing to heal".
     """
 
     multirank: bool = True
@@ -179,6 +226,7 @@ class BackendCapabilities:
     true_parallelism: bool = False
     shared_address_space: bool = True
     deterministic_schedule: bool = False
+    self_healing: bool = False
 
 
 @dataclass(frozen=True)

@@ -456,7 +456,9 @@ class SimBackend(ExecutionBackend):
             )
             rank, exc = primary
             if isinstance(exc, Exception):
-                raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+                from repro.util.errors import wrap_rank_failure
+
+                raise wrap_rank_failure(rank, exc) from exc
             raise exc  # KeyboardInterrupt and friends propagate unchanged
         return [state.result for state in scheduler._ranks]
 

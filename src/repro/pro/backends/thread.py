@@ -81,7 +81,9 @@ class ThreadBackend(ExecutionBackend):
             )
             rank, exc = primary
             if isinstance(exc, Exception):
-                raise BackendError(f"rank {rank} failed: {exc!r}") from exc
+                from repro.util.errors import wrap_rank_failure
+
+                raise wrap_rank_failure(rank, exc) from exc
             raise exc  # KeyboardInterrupt and friends propagate unchanged
         return results
 

@@ -33,7 +33,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.pro.cost import CostRecorder
-from repro.util.errors import CommunicationError, ValidationError
+from repro.util.errors import CommunicationError, ValidationError, attach_wait_context
 
 __all__ = ["MessageFabric", "Communicator", "payload_words"]
 
@@ -59,6 +59,13 @@ def payload_words(obj: Any) -> int:
     if isinstance(obj, (list, tuple)):
         return sum(payload_words(v) for v in obj)
     return 1
+
+
+#: Sentinel tag deposited in every mailbox by :meth:`MessageFabric.abort` so
+#: ranks blocked in a receive fail fast instead of waiting out the timeout.
+#: An ``object()`` cannot collide with user tags, and the fabric is rebuilt
+#: per attempt, so a pill never leaks into a later run.
+_ABORT = object()
 
 
 class MessageFabric:
@@ -95,9 +102,20 @@ class MessageFabric:
             try:
                 msg_tag, payload = q.get(timeout=deadline)
             except queue.Empty:
-                raise CommunicationError(
-                    f"rank {dst} timed out after {self.timeout}s waiting for a message "
-                    f"from rank {src} with tag {tag!r}"
+                raise attach_wait_context(
+                    CommunicationError(
+                        f"rank {dst} timed out after {self.timeout}s waiting for a message "
+                        f"from rank {src} with tag {tag!r}"
+                    ),
+                    rank=dst, op="recv", src=src,
+                ) from None
+            if msg_tag is _ABORT:
+                raise attach_wait_context(
+                    CommunicationError(
+                        f"rank {dst} abandoned a receive from rank {src}: "
+                        "the run was aborted after a rank failure"
+                    ),
+                    rank=dst, op="recv", src=src,
                 ) from None
             if msg_tag == tag:
                 return payload
@@ -108,14 +126,28 @@ class MessageFabric:
         try:
             self._barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError:
-            raise CommunicationError(
-                f"barrier broken or timed out after {self.timeout}s "
-                "(a rank likely crashed or deadlocked)"
+            # The fabric does not know which rank is waiting; the
+            # communicator's barrier() attaches the rank on the way out.
+            raise attach_wait_context(
+                CommunicationError(
+                    f"barrier broken or timed out after {self.timeout}s "
+                    "(a rank likely crashed or deadlocked)"
+                ),
+                op="barrier",
             ) from None
 
     def abort(self) -> None:
-        """Break the barrier so that surviving ranks fail fast after a crash."""
+        """Make surviving ranks fail fast after a crash.
+
+        Breaks the barrier and poisons every mailbox so ranks blocked in a
+        receive abandon the wait immediately instead of burning the fabric
+        timeout (the parent cannot join the run -- or start a recovery
+        attempt -- until every rank thread has returned).
+        """
         self._barrier.abort()
+        for dst in range(self.n_procs):
+            for src in range(self.n_procs):
+                self._queues[dst][src].put((_ABORT, None))
 
 
 class Communicator:
@@ -210,7 +242,14 @@ class Communicator:
         Also closes the current superstep in the cost recorder so that
         BSP-style per-superstep analyses line up across ranks.
         """
-        self._fabric.barrier_wait()
+        try:
+            self._fabric.barrier_wait()
+        except CommunicationError as exc:
+            # Fabrics are rank-agnostic; stamp who was waiting (and make it
+            # visible in the message) before the error leaves the rank.
+            if getattr(exc, "rank", None) is None and exc.args:
+                exc.args = (f"{exc.args[0]} [rank {self._rank} was waiting]",)
+            raise attach_wait_context(exc, rank=self._rank, op="barrier") from None
         if self._cost is not None:
             self._cost.next_superstep()
 

@@ -251,6 +251,23 @@ class CostReport:
         self.recorders = list(recorders)
         if not self.recorders:
             raise ValidationError("CostReport needs at least one recorder")
+        #: Failed attempts the resilience layer absorbed before this
+        #: (successful) run, the wall-clock they cost, and the backend the
+        #: run degraded to (None when it succeeded on the configured one).
+        #: The recorders themselves describe only the successful attempt --
+        #: a retried epoch replays the same streams, so its per-rank
+        #: accounting is identical to a fault-free run by construction.
+        self.retries = 0
+        self.recovery_seconds = 0.0
+        self.degraded_to: str | None = None
+
+    def note_retry(self, failed_attempts: int, recovery_seconds: float,
+                   *, degraded_to: str | None = None) -> None:
+        """Repatriate recovery effort (called by the resilience layer)."""
+        self.retries += int(failed_attempts)
+        self.recovery_seconds += float(recovery_seconds)
+        if degraded_to is not None:
+            self.degraded_to = degraded_to
 
     @property
     def n_procs(self) -> int:
@@ -354,4 +371,7 @@ class CostReport:
             "compute_ops_max": self.max_over_ranks("compute_ops"),
             "words_sent_max": self.max_over_ranks("words_sent"),
             "memory_words_peak_max": self.max_over_ranks("memory_words_peak"),
+            "retries": self.retries,
+            "recovery_seconds": self.recovery_seconds,
+            "degraded_to": self.degraded_to,
         }

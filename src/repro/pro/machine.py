@@ -36,6 +36,7 @@ import numpy as np
 from repro.pro.backends.registry import resolve_backend
 from repro.pro.communicator import Communicator, MessageFabric
 from repro.pro.cost import CostRecorder, CostReport, MachineParameters
+from repro.pro.resilience import RetryPolicy, active_deadline, run_with_recovery
 from repro.pro.topology import Topology, topology_from_name
 from repro.rng.counting import CountingRNG
 from repro.rng.streams import StreamFactory
@@ -159,6 +160,15 @@ class PROMachine:
         the programs they run, where each rank resolves it against
         :mod:`repro.core.kernels`.  Bit-identical across tiers for a
         fixed seed.
+    retry:
+        Recovery policy for transient backend failures: ``None`` (default)
+        keeps today's fail-fast behaviour, an ``int`` gives that many
+        total attempts, a :class:`~repro.pro.resilience.RetryPolicy` adds
+        backoff, a wall-clock ``deadline`` and a ``fallback`` chain of
+        degraded backends.  Every attempt replays the *same* per-rank
+        streams (the seed-sequence children are spawned once per
+        ``run()``), so a recovered run is bit-identical to a fault-free
+        one; see :mod:`repro.pro.resilience` for the contract.
     """
 
     def __init__(
@@ -173,11 +183,13 @@ class PROMachine:
         timeout: float = 60.0,
         persistent: bool = False,
         kernels: str | None = None,
+        retry: int | RetryPolicy | None = None,
     ):
         self.n_procs = check_positive_int(n_procs, "n_procs")
         self._stream_factory = StreamFactory(seed)
         self.count_random_variates = bool(count_random_variates)
         self.timeout = float(timeout)
+        self.retry_policy = RetryPolicy.resolve(retry)
         if kernels is not None:
             # Validate the request eagerly (unknown names fail at machine
             # construction, not mid-run on a worker); resolution to an
@@ -216,13 +228,20 @@ class PROMachine:
             )
 
     # -- running programs -------------------------------------------------------
-    def _build_contexts(self) -> list[ProcessorContext]:
+    def _build_contexts(self, children=None, *, timeout: float | None = None) -> list[ProcessorContext]:
         make_fabric = getattr(self.backend, "create_fabric", None)
+        timeout = self.timeout if timeout is None else float(timeout)
         if make_fabric is not None:
-            fabric = make_fabric(self.n_procs, timeout=self.timeout)
+            fabric = make_fabric(self.n_procs, timeout=timeout)
         else:  # duck-typed custom backend without a fabric hook
-            fabric = MessageFabric(self.n_procs, timeout=self.timeout)
-        streams = self._stream_factory.processor_streams(self.n_procs)
+            fabric = MessageFabric(self.n_procs, timeout=timeout)
+        if children is None:
+            streams = self._stream_factory.processor_streams(self.n_procs)
+        else:
+            # Replay path: rebuild fresh, unadvanced generators from the
+            # immutable children this run() call spawned, so every retry
+            # attempt draws exactly what the first attempt drew.
+            streams = self._stream_factory.streams_from_children(children)
         contexts = []
         for rank in range(self.n_procs):
             cost = CostRecorder(rank)
@@ -231,24 +250,21 @@ class PROMachine:
             contexts.append(ProcessorContext(rank=rank, n_procs=self.n_procs, comm=comm, rng=rng, cost=cost))
         return contexts
 
-    def run(self, program: Callable, *args, **kwargs) -> RunResult:
-        """Execute ``program(ctx, *args, **kwargs)`` on every virtual processor.
+    def _attempt(self, program: Callable, args: tuple, kwargs: dict,
+                 children, *, deadline=None) -> RunResult:
+        """One execution of ``program`` on freshly rebuilt contexts.
 
-        Returns a :class:`RunResult` with the per-rank return values (ordered
-        by rank), the aggregated :class:`~repro.pro.cost.CostReport` and the
-        measured wall-clock time of the whole run.
-
-        .. note::
-           Each call spawns fresh per-processor random streams derived from
-           the machine seed, so *consecutive* runs of the same machine see
-           different randomness while two machines created with the same seed
-           replay identical sequences of runs.
+        ``children`` are the seed-sequence children of the owning ``run()``
+        call; ``deadline`` (a :class:`~repro.pro.resilience.Deadline`)
+        clamps the fabric timeout and is published thread-locally so
+        deadline-aware layers (the worker pool's dispatch loop) can bound
+        their own waits.
         """
-        if not callable(program):
-            raise ValidationError("program must be callable: program(ctx, *args, **kwargs)")
-        contexts = self._build_contexts()
+        timeout = self.timeout if deadline is None else deadline.clamp(self.timeout)
+        contexts = self._build_contexts(children, timeout=timeout)
         start = time.perf_counter()
-        results = self.backend.run(contexts, program, args, kwargs)
+        with active_deadline(deadline):
+            results = self.backend.run(contexts, program, args, kwargs)
         elapsed = time.perf_counter() - start
 
         if self.count_random_variates:
@@ -262,6 +278,29 @@ class PROMachine:
             wall_clock_seconds=elapsed,
             n_procs=self.n_procs,
         )
+
+    def run(self, program: Callable, *args, **kwargs) -> RunResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every virtual processor.
+
+        Returns a :class:`RunResult` with the per-rank return values (ordered
+        by rank), the aggregated :class:`~repro.pro.cost.CostReport` and the
+        measured wall-clock time of the whole run.  With a ``retry`` policy
+        configured, transient backend failures are retried (and optionally
+        degraded to fallback backends) with bit-identical streams; see
+        :mod:`repro.pro.resilience`.
+
+        .. note::
+           Each call spawns fresh per-processor random streams derived from
+           the machine seed, so *consecutive* runs of the same machine see
+           different randomness while two machines created with the same seed
+           replay identical sequences of runs.
+        """
+        if not callable(program):
+            raise ValidationError("program must be callable: program(ctx, *args, **kwargs)")
+        children = self._stream_factory.spawn(self.n_procs)
+        if self.retry_policy is None:
+            return self._attempt(program, args, kwargs, children)
+        return run_with_recovery(self, program, args, kwargs, children)
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -323,6 +362,7 @@ def resolve_machine(
     persistent: bool | None = None,
     schedule_seed: int | None = None,
     kernels: str | None = None,
+    retry: int | RetryPolicy | None = None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -349,8 +389,13 @@ def resolve_machine(
     tier the drivers forward into their programs
     (``"auto"``/``"numba"``/``"numpy"``); like the other options it is
     rejected for pre-configured machines (build the machine with
-    ``kernels=`` instead).  None of these options affect what the ranks
-    draw: a fixed ``seed`` stays bit-identical across all of them.
+    ``kernels=`` instead).  ``retry`` (an attempt count or a
+    :class:`~repro.pro.resilience.RetryPolicy`) turns on transient-failure
+    recovery for the built machine -- also rejected for pre-configured
+    machines (build the machine with ``retry=`` instead).  None of these
+    options affect what the ranks draw: a fixed ``seed`` stays
+    bit-identical across all of them -- including retried and degraded
+    runs.
 
     Examples
     --------
@@ -379,6 +424,7 @@ def resolve_machine(
         return PROMachine(
             n_procs, seed=seed, backend=name,
             backend_options=options, persistent=warm, kernels=kernels,
+            retry=retry,
         )
     if backend is not None:
         raise ValidationError(
@@ -403,5 +449,10 @@ def resolve_machine(
         raise ValidationError(
             "pass either a pre-configured machine or kernels, not both "
             "(build the machine with kernels= instead)"
+        )
+    if retry is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or retry, not both "
+            "(build the machine with retry= instead)"
         )
     return machine

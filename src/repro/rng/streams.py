@@ -88,6 +88,21 @@ class StreamFactory:
         """
         n_procs = check_positive_int(n_procs, "n_procs")
         children = self._seed_sequence.spawn(n_procs)
+        return self.streams_from_children(children, bit_generator=bit_generator)
+
+    @staticmethod
+    def streams_from_children(
+        children, *, bit_generator=np.random.PCG64
+    ) -> list[np.random.Generator]:
+        """Rebuild the generators :meth:`processor_streams` makes of ``children``.
+
+        ``SeedSequence`` children are immutable, so building generators from
+        them any number of times yields identical streams.  This is the
+        replay hook of the resilience layer: the machine spawns the children
+        *once* per ``run()`` call and rebuilds fresh, unadvanced generators
+        from them for every retry attempt, which is what makes a retried
+        epoch bit-identical to an unfailed one.
+        """
         return [np.random.Generator(bit_generator(child)) for child in children]
 
     def named_stream(self, name: str, *, bit_generator=np.random.PCG64) -> np.random.Generator:

@@ -62,6 +62,16 @@ class TestParser:
                      ["matrix", "--sizes", "4,4", "--backend", "sim"]):
             assert build_parser().parse_args(argv).backend == "sim"
 
+    def test_retries_and_deadline_parsed_on_permute_and_matrix(self):
+        args = build_parser().parse_args(
+            ["permute", "--n", "10", "--retries", "3", "--deadline", "2.5"])
+        assert args.retries == 3 and args.deadline == 2.5
+        args = build_parser().parse_args(
+            ["matrix", "--sizes", "4,4", "--retries", "2"])
+        assert args.retries == 2 and args.deadline is None
+        defaults = build_parser().parse_args(["permute", "--n", "10"])
+        assert defaults.retries is None and defaults.deadline is None
+
 
 class TestCommands:
     def test_permute(self, capsys):
@@ -178,6 +188,26 @@ class TestCommands:
     def test_matrix_schedule_seed_rejected_on_sequential_path(self):
         with pytest.raises(ValidationError, match="parallel"):
             main(["matrix", "--sizes", "5,5", "--schedule-seed", "2"])
+
+    def test_permute_with_retries_matches_unsupervised_run(self, capsys):
+        argv = ["permute", "--n", "120", "--procs", "3", "--seed", "9",
+                "--backend", "thread"]
+        assert main(argv + ["--retries", "2", "--deadline", "60"]) == 0
+        supervised = capsys.readouterr().out
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        # Supervision only changes what happens on failure: a healthy run
+        # prints the identical permutation and cost table (the wall-clock
+        # header line is timing noise, so it is excluded).
+        def _stable(out):
+            return [line for line in out.splitlines() if "wall clock" not in line]
+
+        assert _stable(supervised) == _stable(plain)
+
+    def test_matrix_retries_rejected_on_sequential_path(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            main(["matrix", "--sizes", "5,5", "--retries", "2"])
 
     def test_scaling_paper(self, capsys):
         code = main(["scaling", "--paper"])
