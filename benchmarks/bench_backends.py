@@ -533,6 +533,47 @@ def adaptive_ring_cells():
     }
 
 
+def fleet_telemetry_cells(*, n_items=100_000, n_procs=4, runs=3):
+    """Observed ring geometry and fallback rate of the warm default fleet.
+
+    ``adaptive_ring_cells`` above records what the transport is
+    *configured* to do; this cell records what a fleet actually *did*:
+    ``runs`` permutations on one persistent process+sharedmem machine
+    with a :class:`~repro.pro.telemetry.Telemetry` recorder attached,
+    summarised into the repatriated per-rank ring geometry (capacity,
+    resizes, wraps) and the transport's oversize-fallback rate.
+    """
+    from repro.pro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    machine = PROMachine(n_procs, seed=0, backend="process",
+                         backend_options={"transport": "sharedmem"},
+                         persistent=True, telemetry=telemetry)
+    try:
+        data = np.arange(n_items, dtype=np.int64)
+        for _ in range(runs):
+            random_permutation(data, machine=machine)
+    finally:
+        machine.close()
+    report = telemetry.last.to_dict()
+    encodes = sum(r["transport"]["encode_calls"] for r in report["ranks"])
+    fallbacks = sum(r["transport"]["oversize_fallbacks"] for r in report["ranks"])
+    rings = [r["ring"] for r in report["ranks"] if r.get("ring")]
+    return {
+        "runs": runs,
+        "n": n_items,
+        "p": n_procs,
+        "encode_calls": encodes,
+        "oversize_fallbacks": fallbacks,
+        "fallback_rate": round(fallbacks / encodes, 6) if encodes else 0.0,
+        "ring_capacity_bytes": max((r["capacity"] for r in rings), default=None),
+        "ring_resizes": sum(r["resizes"] for r in rings),
+        "ring_wraps": sum(r["wraps"] for r in rings),
+        "parent_shared_encode_calls":
+            report["parent_transport"]["shared_encode_calls"],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Write the tracked backend/transport perf artifact."
@@ -544,9 +585,12 @@ def main(argv=None):
     records = collect_records(rounds=args.rounds)
     payload = {
         "suite": "bench_backends",
-        "schema": 4,
+        "schema": 5,
         "rounds": args.rounds,
         "adaptive_ring": adaptive_ring_cells(),
+        # Schema 5: observed ring geometry + fallback rate of a warm fleet
+        # (repatriated telemetry), next to the configured geometry above.
+        "fleet_telemetry": fleet_telemetry_cells(),
         "records": records,
     }
     # Schema 4: the artifact also carries the kernel-tier throughput cells

@@ -51,6 +51,14 @@ MIN_GATED_SECONDS = 0.010
 #: best of three trials filters one-off scheduler hiccups.
 SUPERVISION_FACTOR = 1.10
 
+#: Attaching a Telemetry recorder may cost at most this much over a plain
+#: warm dispatch.  Collection is passive -- the worker snapshots a handful
+#: of counters it already maintains, and the parent folds them into one
+#: FleetReport per run -- so the ratio should sit at ~1.0.  Measured the
+#: same way as the supervision gate: two fresh fleets back-to-back on the
+#: same runner, best of three trials.
+TELEMETRY_FACTOR = 1.05
+
 
 def supervision_overhead_ratio(*, rounds=5, trials=3):
     """Best-of-``trials`` supervised/unsupervised warm dispatch ratio.
@@ -89,6 +97,46 @@ def supervision_overhead_ratio(*, rounds=5, trials=3):
         plain = warm_dispatch_median(None)
         supervised = warm_dispatch_median(2)
         ratios.append(supervised / plain if plain > 0 else 1.0)
+    return min(ratios)
+
+
+def telemetry_overhead_ratio(*, rounds=5, trials=3):
+    """Best-of-``trials`` observed/plain warm dispatch ratio.
+
+    Each trial spawns one plain and one telemetry-carrying persistent
+    fleet at the dispatch point and medians ``rounds`` warm dispatches of
+    the trivial program on each.  The recorder only snapshots counters
+    the transport already maintains, so the ratio should sit at ~1.0.
+    """
+    import statistics
+    import time
+
+    from bench_backends import _trivial_program
+    from repro.pro.machine import PROMachine
+    from repro.pro.telemetry import Telemetry
+
+    _n, p = DISPATCH_POINT
+
+    def warm_dispatch_median(telemetry):
+        machine = PROMachine(p, seed=0, backend="process",
+                             backend_options={"transport": "sharedmem"},
+                             persistent=True, telemetry=telemetry)
+        try:
+            machine.run(_trivial_program)  # spawn + warm outside the timing
+            times = []
+            for _ in range(rounds):
+                start = time.perf_counter()
+                machine.run(_trivial_program)
+                times.append(time.perf_counter() - start)
+        finally:
+            machine.close()
+        return float(statistics.median(times))
+
+    ratios = []
+    for _ in range(trials):
+        plain = warm_dispatch_median(None)
+        observed = warm_dispatch_median(Telemetry())
+        ratios.append(observed / plain if plain > 0 else 1.0)
     return min(ratios)
 
 
@@ -202,6 +250,20 @@ def main(argv=None):
           f"(gate {SUPERVISION_FACTOR:.2f})")
     if not supervision_ok:
         regressions.append(("supervision-overhead", ratio))
+
+    ratio = telemetry_overhead_ratio()
+    telemetry_ok = ratio <= TELEMETRY_FACTOR
+    fresh_records.append({
+        "workload": "telemetry_overhead",
+        "ratio": round(ratio, 4),
+        "factor": TELEMETRY_FACTOR,
+    })
+    print(f"{'telemetry-overhead (warm dispatch)':48s} "
+          f"observed/plain x{ratio:5.2f}  "
+          f"{'ok' if telemetry_ok else 'REGRESSED'} "
+          f"(gate {TELEMETRY_FACTOR:.2f})")
+    if not telemetry_ok:
+        regressions.append(("telemetry-overhead", ratio))
 
     with open(args.out, "w") as fh:
         json.dump({

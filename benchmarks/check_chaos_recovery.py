@@ -13,10 +13,17 @@ workflow to upload.
 
 Usage (what ``.github/workflows/ci.yml`` runs)::
 
-    PYTHONPATH=src python benchmarks/check_chaos_recovery.py --out chaos-report.json
+    PYTHONPATH=src python benchmarks/check_chaos_recovery.py \
+        --out chaos-report.json --fleet-report chaos-fleet-report.json
 
 Exit code 0 = every cell recovered bit-identically, 1 = at least one
 cell failed to recover (or recovered with different results).
+
+``--fleet-report`` additionally attaches a
+:class:`~repro.pro.telemetry.Telemetry` recorder to every cell's machine
+and writes the collected :class:`~repro.pro.telemetry.FleetReport`
+dictionaries -- one per (plan, cell), each carrying the heal/retry event
+sequence the recovery produced -- as a second CI artifact.
 """
 
 import argparse
@@ -58,8 +65,15 @@ def _cell_id(backend, transport, persistent):
     return f"{vid}-persistent" if persistent else vid
 
 
-def run_sweep():
-    """Run every (plan, cell) combination; returns (reports, failures)."""
+def run_sweep(*, fleet_reports=None):
+    """Run every (plan, cell) combination; returns (reports, failures).
+
+    When ``fleet_reports`` is a list, every cell's machine gets a
+    :class:`~repro.pro.telemetry.Telemetry` recorder and the collected
+    FleetReport dicts (tagged with plan and cell) are appended to it.
+    """
+    from repro.pro.telemetry import Telemetry
+
     clean = PROMachine(P, seed=SEED, backend="thread")
     try:
         reference = clean.run(_chaos_program).results
@@ -76,10 +90,11 @@ def run_sweep():
             if persistent:
                 options["persistent"] = True
             wrapper = FaultInjectingBackend(backend, plans[plan_name], **options)
+            telemetry = Telemetry() if fleet_reports is not None else None
             # The timeout bounds how long a dropped message takes to
             # surface; it is the recovery-latency ceiling of drop plans.
             machine = PROMachine(P, seed=SEED, backend=wrapper, retry=policy,
-                                 timeout=scale_timeout(5))
+                                 timeout=scale_timeout(5), telemetry=telemetry)
             started = time.perf_counter()
             verdict, detail = "recovered", ""
             try:
@@ -108,6 +123,11 @@ def run_sweep():
             })
             if not ok:
                 failures.append((plan_name, cell, verdict, detail))
+            if telemetry is not None and telemetry.last is not None:
+                fleet_reports.append({
+                    "plan": plan_name, "cell": cell,
+                    "fleet_report": telemetry.last.to_dict(),
+                })
             print(f"{plan_name:28s} {cell:24s} {elapsed * 1e3:8.0f}ms  {verdict}"
                   + (f"  ({detail})" if detail and not ok else ""))
     return reports, failures
@@ -117,9 +137,25 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="chaos-report.json",
                         help="where to write per-cell outcomes (CI artifact)")
+    parser.add_argument("--fleet-report", default=None, metavar="PATH",
+                        help="also write every cell's repatriated FleetReport "
+                             "(telemetry: retry/heal events, transport "
+                             "counters) to PATH (CI artifact)")
     args = parser.parse_args(argv)
 
-    reports, failures = run_sweep()
+    fleet_reports = [] if args.fleet_report is not None else None
+    reports, failures = run_sweep(fleet_reports=fleet_reports)
+
+    if fleet_reports is not None:
+        with open(args.fleet_report, "w") as fh:
+            json.dump({
+                "suite": "chaos_recovery_fleet_reports",
+                "p": P,
+                "seed": SEED,
+                "reports": fleet_reports,
+            }, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {len(fleet_reports)} fleet reports to {args.fleet_report}")
 
     with open(args.out, "w") as fh:
         json.dump({

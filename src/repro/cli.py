@@ -8,6 +8,7 @@ can be exercised without writing Python::
     python -m repro scaling --paper
     python -m repro uniformity --n 4 --procs 2 --samples 5000
     python -m repro randoms --procs 16 --items-per-proc 2000
+    python -m repro stats --procs 4 --backend process
 
 Every sub-command prints a short plain-text report; ``--help`` on any
 sub-command documents its options.
@@ -80,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
              "expires the run fails with a DeadlineError instead of waiting "
              "out communication timeouts (requires --retries)",
     )
+    telemetry_json_kwargs = dict(
+        type=str, default=None, metavar="PATH",
+        help="write the run's FleetReport (per-rank transport counters, ring "
+             "geometry, pool/resilience events) to PATH as JSON; collection "
+             "never perturbs the results",
+    )
 
     permute = sub.add_parser("permute", help="permute a vector of 0..n-1 and report resource usage")
     permute.add_argument("--n", type=int, required=True, help="number of items")
@@ -98,8 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(with --persistent the spawn cost is paid once)")
     permute.add_argument("--head", type=int, default=10, help="how many output items to print")
     permute.add_argument("--verbose", action="store_true",
-                         help="also print per-rank details (kernel tier and "
-                              "JIT warm-up time repatriated in the cost records)")
+                         help="also print the fleet report (per-rank kernel "
+                              "tiers, transport counters, ring geometry and "
+                              "resilience events repatriated with the results)")
+    permute.add_argument("--telemetry-json", **telemetry_json_kwargs)
 
     matrix = sub.add_parser("matrix", help="sample a communication matrix (Problem 2)")
     matrix.add_argument("--sizes", type=str, required=True,
@@ -121,7 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--kernels", **kernels_kwargs)
     matrix.add_argument("--retries", **retries_kwargs)
     matrix.add_argument("--deadline", **deadline_kwargs)
+    matrix.add_argument("--telemetry-json", **telemetry_json_kwargs)
     matrix.add_argument("--seed", type=int, default=None)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a fixed permutation workload and print its fleet report "
+             "(repatriated telemetry: transport counters, ring geometry, events)")
+    stats.add_argument("--n", type=int, default=100_000, help="number of items to permute")
+    stats.add_argument("--procs", type=int, default=4, help="number of virtual processors")
+    stats.add_argument("--seed", type=int, default=0, help="machine seed")
+    stats.add_argument("--backend", **backend_kwargs)
+    stats.add_argument("--transport", **transport_kwargs)
+    stats.add_argument("--persistent", **persistent_kwargs)
+    stats.add_argument("--schedule-seed", **schedule_seed_kwargs)
+    stats.add_argument("--kernels", **kernels_kwargs)
+    stats.add_argument("--retries", **retries_kwargs)
+    stats.add_argument("--deadline", **deadline_kwargs)
+    stats.add_argument("--repeats", type=int, default=1,
+                       help="how many permutations to run (each run appends one "
+                            "FleetReport; the last one is printed)")
+    stats.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write every collected FleetReport to PATH as "
+                            "a JSON list")
 
     scaling = sub.add_parser("scaling", help="regenerate the paper's scaling table (experiment T1)")
     scaling.add_argument("--paper", action="store_true",
@@ -165,6 +196,28 @@ def _resolve_retry(args):
                        deadline=args.deadline)
 
 
+def _resolve_telemetry(args):
+    """Build the Telemetry recorder requested by --verbose/--telemetry-json."""
+    wants = getattr(args, "verbose", False) or getattr(args, "telemetry_json", None)
+    if not wants:
+        return None
+    from repro.pro.telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _dump_telemetry_json(telemetry, path) -> None:
+    """Write the recorder's last FleetReport to ``path`` as JSON."""
+    if telemetry is None or path is None or telemetry.last is None:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(telemetry.last.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"fleet report written to {path}")
+
+
 def _cmd_permute(args) -> int:
     from repro.core.blocks import BlockDistribution
     from repro.core.permutation import permute_distributed
@@ -181,6 +234,7 @@ def _cmd_permute(args) -> int:
     persistent = args.persistent
     if persistent is None:
         persistent = args.backend == "process"
+    telemetry = _resolve_telemetry(args)
     machine = PROMachine(
         args.procs, seed=args.seed, backend=args.backend,
         backend_options=backend_options,
@@ -188,6 +242,7 @@ def _cmd_permute(args) -> int:
         count_random_variates=True,
         kernels=args.kernels,
         retry=_resolve_retry(args),
+        telemetry=telemetry,
     )
     data = np.arange(args.n, dtype=np.int64)
     blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
@@ -206,13 +261,11 @@ def _cmd_permute(args) -> int:
     out = np.concatenate([np.asarray(b) for b in out_blocks]) if args.n else np.empty(0, dtype=np.int64)
     print(f"first {min(args.head, args.n)} output items: {out[:args.head].tolist()}")
     print(run.cost_report.summary_table())
-    if args.verbose:
-        for rank, (tier, warmup) in enumerate(run.cost_report.kernel_tiers()):
-            if tier is None:
-                print(f"rank {rank}: kernel tier not recorded")
-            else:
-                print(f"rank {rank}: kernel tier {tier} "
-                      f"(JIT warm-up {warmup * 1e3:.1f} ms)")
+    # One formatting path for per-rank details: the FleetReport renders the
+    # kernel tiers, transport counters and resilience events in one place.
+    if args.verbose and telemetry is not None and telemetry.last is not None:
+        print(telemetry.last.summary())
+    _dump_telemetry_json(telemetry, args.telemetry_json)
     return 0
 
 
@@ -222,6 +275,7 @@ def _cmd_matrix(args) -> int:
     sizes = _parse_sizes(args.sizes)
     targets = _parse_sizes(args.target_sizes) if args.target_sizes else None
     parallel = args.algorithm in ("alg5", "alg6", "root")
+    telemetry = _resolve_telemetry(args)
     matrix = sample_communication_matrix(
         sizes, targets, parallel=parallel,
         algorithm=args.algorithm if args.algorithm != "sequential" or parallel else None,
@@ -231,6 +285,7 @@ def _cmd_matrix(args) -> int:
         schedule_seed=args.schedule_seed,  # likewise parallel-path only
         kernels=args.kernels,
         retry=_resolve_retry(args),  # likewise parallel-path only
+        telemetry=telemetry,  # likewise parallel-path only
         seed=args.seed,
     )
     print(f"communication matrix ({len(sizes)} x {len(targets) if targets else len(sizes)}), "
@@ -239,6 +294,53 @@ def _cmd_matrix(args) -> int:
         print("  " + " ".join(f"{int(v):6d}" for v in row))
     print(f"row sums   : {matrix.sum(axis=1).tolist()}")
     print(f"column sums: {matrix.sum(axis=0).tolist()}")
+    _dump_telemetry_json(telemetry, args.telemetry_json)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.core.blocks import BlockDistribution
+    from repro.core.permutation import permute_distributed
+    from repro.pro.machine import PROMachine
+    from repro.pro.telemetry import Telemetry
+
+    backend_options = {}
+    if args.transport is not None:
+        backend_options["transport"] = args.transport
+    if args.schedule_seed is not None:
+        backend_options["schedule_seed"] = args.schedule_seed
+    persistent = args.persistent
+    if persistent is None:
+        persistent = args.backend == "process"
+    telemetry = Telemetry()
+    machine = PROMachine(
+        args.procs, seed=args.seed, backend=args.backend,
+        backend_options=backend_options,
+        persistent=persistent,
+        count_random_variates=True,
+        kernels=args.kernels,
+        retry=_resolve_retry(args),
+        telemetry=telemetry,
+    )
+    data = np.arange(args.n, dtype=np.int64)
+    blocks = [b.copy() for b in BlockDistribution.balanced(args.n, args.procs).split(data)]
+    try:
+        for _ in range(max(int(args.repeats), 1)):
+            permute_distributed(blocks, machine=machine)
+    finally:
+        machine.close()
+    print(f"permuted {args.n} items x {max(int(args.repeats), 1)} run(s) on "
+          f"{args.procs} virtual processors "
+          f"({args.backend}{' persistent' if persistent else ''} backend)")
+    print(telemetry.last.summary())
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([report.to_dict() for report in telemetry.reports],
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"{len(telemetry)} fleet report(s) written to {args.json}")
     return 0
 
 
@@ -313,6 +415,7 @@ def _cmd_randoms(args) -> int:
 _COMMANDS = {
     "permute": _cmd_permute,
     "matrix": _cmd_matrix,
+    "stats": _cmd_stats,
     "scaling": _cmd_scaling,
     "uniformity": _cmd_uniformity,
     "randoms": _cmd_randoms,

@@ -39,6 +39,7 @@ def sample_communication_matrix(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry=None,
+    telemetry=None,
     seed=None,
     rng=None,
     method: str = "auto",
@@ -100,6 +101,13 @@ def sample_communication_matrix(
         are respawned and the run replayed bit-identically.  Only applies
         to ``parallel=True`` -- the sequential path has no substrate to
         recover and rejects it.
+    telemetry:
+        A :class:`~repro.pro.telemetry.Telemetry` recorder collecting one
+        :class:`~repro.pro.telemetry.FleetReport` for the parallel run
+        (per-rank transport counters, ring geometry, pool/resilience
+        events; collection never perturbs the matrix).  Only applies to
+        ``parallel=True`` -- the sequential path runs no fleet and
+        rejects it.
     seed, rng:
         Randomness source.  Precedence is explicit:
 
@@ -161,6 +169,11 @@ def sample_communication_matrix(
                 "retry= only applies to parallel=True (the sequential path has "
                 "no execution substrate to recover)"
             )
+        if telemetry is not None:
+            raise ValidationError(
+                "telemetry= only applies to parallel=True (the sequential path "
+                "runs no fleet to observe)"
+            )
         generator = rng if rng is not None else seed
         return commmatrix.sample_matrix(
             row_sums, col_sums if col_sums is not None else row_sums,
@@ -183,6 +196,7 @@ def sample_communication_matrix(
         schedule_seed=schedule_seed,
         kernels=kernels,
         retry=retry,
+        telemetry=telemetry,
         seed=seed,
         method=method,
     )

@@ -328,6 +328,7 @@ def sample_matrix_parallel(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry=None,
+    telemetry=None,
     seed=None,
     method: str = "auto",
     tile_strategy: str = "auto",
@@ -386,6 +387,13 @@ def sample_matrix_parallel(
         matrix bit-identically to a fault-free one (per-rank streams are
         replayed exactly); rejected for pre-configured machines (build
         the machine with ``retry=`` instead).
+    telemetry:
+        A :class:`~repro.pro.telemetry.Telemetry` recorder collecting one
+        :class:`~repro.pro.telemetry.FleetReport` for the run (per-rank
+        transport counters, ring geometry, pool/resilience events).
+        Collection never perturbs the sampled matrix; rejected for
+        pre-configured machines (build the machine with ``telemetry=``
+        instead).
     seed:
         Machine seed used when ``machine`` is omitted.
     tile_strategy:
@@ -419,7 +427,7 @@ def sample_matrix_parallel(
     machine = resolve_machine(
         rows.size, machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
-        kernels=kernels, retry=retry,
+        kernels=kernels, retry=retry, telemetry=telemetry,
     )
     if machine.n_procs != rows.size:
         raise ValidationError(

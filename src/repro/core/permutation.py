@@ -206,6 +206,7 @@ def permute_distributed(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry=None,
+    telemetry=None,
     seed=None,
 ) -> tuple[list[np.ndarray], RunResult]:
     """Permute a block-distributed vector; return the permuted blocks.
@@ -230,7 +231,11 @@ def permute_distributed(
     :class:`~repro.pro.resilience.RetryPolicy`) turns on transient-failure
     recovery: crashed ranks are respawned and the run replayed with the
     same per-rank streams, so a recovered call returns blocks
-    bit-identical to a fault-free one.  The returned blocks follow
+    bit-identical to a fault-free one.  ``telemetry`` (a
+    :class:`~repro.pro.telemetry.Telemetry` recorder) collects one
+    :class:`~repro.pro.telemetry.FleetReport` for the run -- per-rank
+    transport counters, ring geometry, pool/resilience events -- without
+    perturbing results.  The returned blocks follow
     ``target_sizes`` (defaulting to the input sizes); the second element
     of the returned pair is the machine's
     :class:`~repro.pro.machine.RunResult`.
@@ -249,7 +254,7 @@ def permute_distributed(
     machine = resolve_machine(
         len(blocks), machine=machine, backend=backend, seed=seed,
         transport=transport, persistent=persistent, schedule_seed=schedule_seed,
-        kernels=kernels, retry=retry,
+        kernels=kernels, retry=retry, telemetry=telemetry,
     )
     if machine.n_procs != len(blocks):
         raise ValidationError(
@@ -286,6 +291,7 @@ def random_permutation(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry=None,
+    telemetry=None,
     seed=None,
     distribution: BlockDistribution | None = None,
 ) -> np.ndarray:
@@ -305,9 +311,11 @@ def random_permutation(
     ``schedule_seed`` the sim backend's rank interleaving, ``kernels``
     the sampling kernel tier (``"auto"``/``"numba"``/``"numpy"``) and
     ``retry`` the transient-failure recovery policy (an attempt count or
-    a :class:`~repro.pro.resilience.RetryPolicy`).  A fixed ``seed`` is
-    bit-identical across every combination of them -- including recovered
-    runs.
+    a :class:`~repro.pro.resilience.RetryPolicy`) and ``telemetry`` a
+    :class:`~repro.pro.telemetry.Telemetry` recorder collecting one
+    :class:`~repro.pro.telemetry.FleetReport` per run.  A fixed ``seed``
+    is bit-identical across every combination of them -- including
+    recovered and telemetry-collected runs.
 
     Examples
     --------
@@ -344,6 +352,7 @@ def random_permutation(
         schedule_seed=schedule_seed,
         kernels=kernels,
         retry=retry,
+        telemetry=telemetry,
         seed=seed,
     )
     sizes = [len(b) for b in permuted_blocks]
@@ -362,6 +371,7 @@ def random_permutation_indices(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry=None,
+    telemetry=None,
     seed=None,
 ) -> np.ndarray:
     """Sample a uniform permutation of ``0..n-1`` with the parallel algorithm.
@@ -369,9 +379,10 @@ def random_permutation_indices(
     Equivalent to ``random_permutation(np.arange(n), ...)`` and takes the
     same machine options (``backend=``, ``transport=``, ``persistent=`` --
     warm by default on the process backend -- ``schedule_seed=``,
-    ``kernels=`` and ``retry=``; a fixed ``seed`` is bit-identical across
-    all of them, recovered runs included); this is the form the
-    statistical uniformity tests consume.
+    ``kernels=``, ``retry=`` and ``telemetry=``; a fixed ``seed`` is
+    bit-identical across all of them, recovered and telemetry-collected
+    runs included); this is the form the statistical uniformity tests
+    consume.
 
     Examples
     --------
@@ -393,5 +404,6 @@ def random_permutation_indices(
         schedule_seed=schedule_seed,
         kernels=kernels,
         retry=retry,
+        telemetry=telemetry,
         seed=seed,
     )

@@ -99,6 +99,7 @@ from repro.pro.backends.process import (
 from repro.pro.backends.transport import PayloadTransport
 from repro.pro.communicator import Communicator
 from repro.pro.resilience import current_deadline
+from repro.pro.telemetry import capture_rank_telemetry, record_event
 from repro.util.errors import (
     BackendError,
     CommunicationError,
@@ -201,10 +202,12 @@ def _pool_worker_main(rank: int, fabric: ProcessFabric, task_queue,
             )
             value = program(ctx, *args, **kwargs)
             variates = getattr(ctx.rng, "total_variates", None)
-            result_queue.put((
-                epoch, rank, True,
-                (fabric.encode_payload(rank, value), ctx.cost, variates),
-            ))
+            encoded = fabric.encode_payload(rank, value)
+            # Counters accumulate across epochs in a standing worker; the
+            # snapshot repatriates the running totals with this epoch's
+            # result record (the parent reports the latest view).
+            ctx.cost.telemetry = capture_rank_telemetry(fabric, rank)
+            result_queue.put((epoch, rank, True, (encoded, ctx.cost, variates)))
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             try:
                 fabric.abort()
@@ -288,6 +291,7 @@ class WorkerPool:
         ]
         for proc in self._workers:
             proc.start()
+        record_event("pool-spawn", n_procs=self.n_procs, epoch=self._epoch)
         atexit.register(self.close)
 
     # -- state --------------------------------------------------------------
@@ -304,6 +308,7 @@ class WorkerPool:
     def _poison(self, reason: str) -> None:
         if self._poison_reason is None:
             self._poison_reason = reason
+            record_event("pool-poison", reason=reason, epoch=self._epoch)
 
     @property
     def in_owner_process(self) -> bool:
@@ -718,6 +723,7 @@ class WorkerPool:
             proc.start()
         self._suspect_ranks.clear()
         self._poison_reason = None
+        record_event("pool-heal", respawned=respawned, epoch=self._epoch)
         return True
 
     # -- shutdown -----------------------------------------------------------
@@ -743,6 +749,7 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
+            record_event("pool-close", n_procs=self.n_procs, epoch=self._epoch)
             atexit.unregister(self.close)
             if not self.in_owner_process:
                 return  # inherited handle: the owner reaps the resources
@@ -922,6 +929,8 @@ def get_default_pool(n_procs: int, *, timeout: float = 60.0, mp_context=None,
             # Closed, poisoned, or inherited across a fork (this process
             # does not own those workers): drop the handle and respawn.
             _DEFAULT_POOLS.pop(key, None)
+            record_event("pool-evict", n_procs=pool.n_procs,
+                         reason="unhealable")
             evicted.append(pool)
         pool = WorkerPool(n_procs, timeout=timeout, mp_context=mp_context,
                           transport=transport, shutdown_grace=shutdown_grace)
@@ -929,6 +938,7 @@ def get_default_pool(n_procs: int, *, timeout: float = 60.0, mp_context=None,
         cap = _default_pool_cap()
         while len(_DEFAULT_POOLS) > cap:
             _key, coldest = _DEFAULT_POOLS.popitem(last=False)
+            record_event("pool-evict", n_procs=coldest.n_procs, reason="lru")
             evicted.append(coldest)
     # Teardown happens outside the cache lock: closing a fleet waits for
     # (and may grace-join) its workers, and no other driver call should
@@ -974,7 +984,7 @@ atexit.register(clear_default_pools)
 
 @contextmanager
 def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
-         retry=None, **machine_options):
+         retry=None, telemetry=None, **machine_options):
     """Context manager: a persistent process machine, closed on exit.
 
     ::
@@ -988,7 +998,11 @@ def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
     ``retry`` (an int or a :class:`~repro.pro.resilience.RetryPolicy`)
     puts the machine under supervision: a run that fails transiently
     heals the fleet -- respawning only the dead ranks -- and replays the
-    epoch bit-identically.  Extra keyword arguments are forwarded to
+    epoch bit-identically.  ``telemetry`` (a
+    :class:`~repro.pro.telemetry.Telemetry` recorder) collects one
+    :class:`~repro.pro.telemetry.FleetReport` per run, with the workers'
+    transport counters and ring geometry repatriated to the parent.
+    Extra keyword arguments are forwarded to
     :class:`~repro.pro.machine.PROMachine` (e.g. ``topology=...`` or
     ``count_random_variates=True``); the backend is always the persistent
     process backend.
@@ -1001,7 +1015,7 @@ def pool(n_procs: int, *, seed=None, transport=None, timeout: float = 60.0,
     machine = PROMachine(
         n_procs, seed=seed, backend="process", persistent=True,
         backend_options=backend_options, timeout=timeout, retry=retry,
-        **machine_options,
+        telemetry=telemetry, **machine_options,
     )
     try:
         yield machine

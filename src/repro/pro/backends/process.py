@@ -74,6 +74,7 @@ from repro.pro.backends.transport import (
     resolve_transport,
 )
 from repro.pro.resilience import current_deadline
+from repro.pro.telemetry import capture_rank_telemetry
 from repro.util.errors import (
     BackendError,
     CommunicationError,
@@ -509,9 +510,11 @@ def _worker_main(rank: int, ctx, program, args, kwargs, result_queue) -> None:
     try:
         value = program(ctx, *args, **kwargs)
         variates = getattr(ctx.rng, "total_variates", None)
-        result_queue.put(
-            (rank, True, (fabric.encode_payload(rank, value), ctx.cost, variates))
-        )
+        encoded = fabric.encode_payload(rank, value)
+        # Snapshot this rank's transport counters and ring geometry onto the
+        # cost recorder so they repatriate with the existing result tuple.
+        ctx.cost.telemetry = capture_rank_telemetry(fabric, rank)
+        result_queue.put((rank, True, (encoded, ctx.cost, variates)))
     except BaseException as exc:  # noqa: BLE001 - report any rank failure
         try:
             fabric.abort()

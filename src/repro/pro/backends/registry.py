@@ -147,6 +147,33 @@ to preserve two properties that make it backend-invariant:
   which out-of-address-space backends must do anyway, see above -- also
   repatriate the per-rank tier choice for ``CostReport.kernel_tiers()``.
 
+Telemetry/repatriation sub-contract (fleet observability)
+---------------------------------------------------------
+The machine's ``telemetry=`` kwarg (a
+:class:`~repro.pro.telemetry.Telemetry` recorder) merges one
+:class:`~repro.pro.telemetry.FleetReport` per run from data the backends
+repatriate.  The vehicle is the cost contract above: anything attached to
+a rank's :class:`~repro.pro.cost.CostRecorder` crosses the address-space
+gap with the existing result record, with no wire-format change.  Rules:
+
+* an out-of-address-space backend snapshots each rank's transport
+  counters and sender-ring geometry onto ``ctx.cost.telemetry``
+  (:func:`~repro.pro.telemetry.capture_rank_telemetry`) just before the
+  rank's result record is queued -- one-shot and persistent paths alike;
+* in-address-space backends (inline/thread/sim) attach nothing; the
+  parent reports a **zeroed** transport section for their ranks rather
+  than omitting it, so the report schema is backend-invariant;
+* parent-side lifecycle is *event-sourced*, not repatriated: the pool
+  supervisor and the resilience layer call
+  :func:`~repro.pro.telemetry.record_event` (spawn/heal/poison/evict,
+  retry/degraded/deadline-clamp) and the machine attributes each run the
+  events observed during its window;
+* collection is passive -- it never touches the per-rank random streams,
+  so a fixed seed is bit-identical with telemetry on or off (guarded by
+  the determinism grid in ``tests/unit/test_telemetry.py``), and the
+  warm-dispatch overhead is gated at <= 1.05x in
+  ``benchmarks/check_bench_regression.py``.
+
 Registering a backend
 ---------------------
 ::

@@ -82,6 +82,14 @@ class CostRecorder:
         self._memory_words_current = 0
         self.kernel_tier: str | None = None
         self.kernel_warmup_seconds = 0.0
+        #: Observability blob repatriated with the recorder: out-of-process
+        #: workers set this to the capture of
+        #: :func:`repro.pro.telemetry.capture_rank_telemetry` just before
+        #: queueing their result record, exactly like ``note_kernel_tier``
+        #: rides here -- anything attached to the recorder crosses the
+        #: address-space gap with no wire-format change.  ``None`` for
+        #: in-address-space ranks (the parent reports zeroed counters).
+        self.telemetry: dict | None = None
 
     # -- superstep structure ------------------------------------------------
     @property

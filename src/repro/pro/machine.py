@@ -169,6 +169,14 @@ class PROMachine:
         streams (the seed-sequence children are spawned once per
         ``run()``), so a recovered run is bit-identical to a fault-free
         one; see :mod:`repro.pro.resilience` for the contract.
+    telemetry:
+        A :class:`~repro.pro.telemetry.Telemetry` recorder (or ``None``,
+        the default, for no collection).  Every completed ``run()``
+        appends one :class:`~repro.pro.telemetry.FleetReport` merging the
+        per-rank transport counters and ring geometry repatriated on the
+        cost recorders with the pool/resilience events observed during
+        the run.  Collection is passive: results and RNG accounting stay
+        bit-identical with telemetry on or off.
     """
 
     def __init__(
@@ -184,12 +192,19 @@ class PROMachine:
         persistent: bool = False,
         kernels: str | None = None,
         retry: int | RetryPolicy | None = None,
+        telemetry=None,
     ):
         self.n_procs = check_positive_int(n_procs, "n_procs")
         self._stream_factory = StreamFactory(seed)
         self.count_random_variates = bool(count_random_variates)
         self.timeout = float(timeout)
         self.retry_policy = RetryPolicy.resolve(retry)
+        if telemetry is not None and not hasattr(telemetry, "record"):
+            raise ValidationError(
+                "telemetry must be a repro.pro.telemetry.Telemetry recorder "
+                "(an object with a record(report) method) or None"
+            )
+        self.telemetry = telemetry
         if kernels is not None:
             # Validate the request eagerly (unknown names fail at machine
             # construction, not mid-run on a worker); resolution to an
@@ -298,9 +313,22 @@ class PROMachine:
         if not callable(program):
             raise ValidationError("program must be callable: program(ctx, *args, **kwargs)")
         children = self._stream_factory.spawn(self.n_procs)
+        if self.telemetry is None:
+            if self.retry_policy is None:
+                return self._attempt(program, args, kwargs, children)
+            return run_with_recovery(self, program, args, kwargs, children)
+
+        from repro.pro.telemetry import FleetReport, event_seq, events_since
+
+        window_start = event_seq()
         if self.retry_policy is None:
-            return self._attempt(program, args, kwargs, children)
-        return run_with_recovery(self, program, args, kwargs, children)
+            result = self._attempt(program, args, kwargs, children)
+        else:
+            result = run_with_recovery(self, program, args, kwargs, children)
+        self.telemetry.record(
+            FleetReport.from_run(self, result, events_since(window_start))
+        )
+        return result
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -363,6 +391,7 @@ def resolve_machine(
     schedule_seed: int | None = None,
     kernels: str | None = None,
     retry: int | RetryPolicy | None = None,
+    telemetry=None,
 ) -> PROMachine:
     """Return ``machine``, or build one with ``n_procs`` ranks on ``backend``.
 
@@ -392,10 +421,14 @@ def resolve_machine(
     ``kernels=`` instead).  ``retry`` (an attempt count or a
     :class:`~repro.pro.resilience.RetryPolicy`) turns on transient-failure
     recovery for the built machine -- also rejected for pre-configured
-    machines (build the machine with ``retry=`` instead).  None of these
-    options affect what the ranks draw: a fixed ``seed`` stays
-    bit-identical across all of them -- including retried and degraded
-    runs.
+    machines (build the machine with ``retry=`` instead).  ``telemetry``
+    (a :class:`~repro.pro.telemetry.Telemetry` recorder) attaches
+    fleet-wide observability to the built machine: every run appends a
+    :class:`~repro.pro.telemetry.FleetReport` -- also rejected for
+    pre-configured machines (build the machine with ``telemetry=``
+    instead).  None of these options affect what the ranks draw: a fixed
+    ``seed`` stays bit-identical across all of them -- including retried,
+    degraded and telemetry-collected runs.
 
     Examples
     --------
@@ -424,7 +457,7 @@ def resolve_machine(
         return PROMachine(
             n_procs, seed=seed, backend=name,
             backend_options=options, persistent=warm, kernels=kernels,
-            retry=retry,
+            retry=retry, telemetry=telemetry,
         )
     if backend is not None:
         raise ValidationError(
@@ -454,5 +487,10 @@ def resolve_machine(
         raise ValidationError(
             "pass either a pre-configured machine or retry, not both "
             "(build the machine with retry= instead)"
+        )
+    if telemetry is not None:
+        raise ValidationError(
+            "pass either a pre-configured machine or telemetry, not both "
+            "(build the machine with telemetry= instead)"
         )
     return machine

@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.pro.telemetry import record_event
 from repro.util.errors import DeadlineError, ValidationError, is_transient_failure
 from repro.util.timeouts import scale_timeout
 
@@ -157,7 +158,11 @@ class Deadline:
 
     def clamp(self, timeout: float) -> float:
         """Bound a fabric wait by the remaining budget (floor ``_MIN_WAIT``)."""
-        return max(min(float(timeout), self.remaining()), _MIN_WAIT)
+        clamped = max(min(float(timeout), self.remaining()), _MIN_WAIT)
+        if clamped < float(timeout):
+            record_event("deadline-clamp", requested=float(timeout),
+                         clamped=round(clamped, 3))
+        return clamped
 
 
 # ----------------------------------------------------------------------------
@@ -250,6 +255,8 @@ def run_with_recovery(machine: "PROMachine", program, args, kwargs, children) ->
                 ) from exc
             if not is_transient_failure(exc):
                 raise  # deterministic replay would fail identically
+            record_event("retry", attempt=attempt + 1,
+                         error=type(exc).__name__)
             if attempt + 1 >= policy.max_attempts:
                 break  # respawn budget spent; degrade if configured
             if not _heal_backend(machine):
@@ -276,6 +283,7 @@ def run_with_recovery(machine: "PROMachine", program, args, kwargs, children) ->
             failed_attempts += 1
             last_exc = exc
             continue
+        record_event("degraded", backend=name)
         return _finish(result, degraded_to=name)
 
     assert last_exc is not None

@@ -307,3 +307,75 @@ class TestPoolContextManagerErrorPaths:
         # exiting closed the fleet; a later run simply respawns one
         assert machine.run(_allreduce_program).results == first
         machine.close()
+
+
+class TestStatsAndTelemetry:
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.command == "stats"
+        assert args.procs == 4 and args.n == 100_000 and args.seed == 0
+        assert args.json is None
+
+    def test_telemetry_json_flag_on_permute_and_matrix(self):
+        args = build_parser().parse_args(
+            ["permute", "--n", "10", "--telemetry-json", "out.json"])
+        assert args.telemetry_json == "out.json"
+        args = build_parser().parse_args(
+            ["matrix", "--sizes", "4,4", "--telemetry-json", "out.json"])
+        assert args.telemetry_json == "out.json"
+        assert build_parser().parse_args(
+            ["permute", "--n", "10"]).telemetry_json is None
+
+    def test_stats_prints_a_fleet_report(self, capsys):
+        assert main(["stats", "--n", "2000", "--procs", "2",
+                     "--backend", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report: backend=thread" in out
+        assert "kernel tier" in out
+        assert "resilience: no retries" in out
+
+    def test_stats_json_dumps_every_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(["stats", "--n", "2000", "--procs", "2",
+                     "--backend", "thread", "--repeats", "3",
+                     "--json", str(path)]) == 0
+        reports = json.loads(path.read_text())
+        assert len(reports) == 3
+        for report in reports:
+            assert report["schema"] == 1
+            assert len(report["ranks"]) == 2
+        assert "3 fleet report(s)" in capsys.readouterr().out
+
+    def test_permute_verbose_routes_through_fleet_report(self, capsys):
+        assert main(["permute", "--n", "2000", "--procs", "2",
+                     "--seed", "5", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        # One formatting path: the verbose block IS FleetReport.summary().
+        assert "fleet report: backend=thread" in out
+        assert "rank 0: kernel tier" in out
+        assert "rank 1: transport" in out
+
+    def test_permute_telemetry_json_writes_the_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(["permute", "--n", "2000", "--procs", "2",
+                     "--telemetry-json", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == 1 and report["n_procs"] == 2
+        assert f"fleet report written to {path}" in capsys.readouterr().out
+
+    def test_matrix_sequential_rejects_telemetry_json(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            main(["matrix", "--sizes", "4,4", "--telemetry-json", "out.json"])
+
+    def test_matrix_parallel_telemetry_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(["matrix", "--sizes", "4,4,4", "--algorithm", "alg6",
+                     "--seed", "3", "--telemetry-json", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["backend"] == "thread" and report["n_procs"] == 3

@@ -36,7 +36,8 @@ class TestDocsSite:
         assert (REPO / "mkdocs.yml").exists()
         for page in ("index.md", "architecture.md", "warm-pools.md",
                      "kernels.md", "writing-a-backend.md",
-                     "determinism-and-faults.md", "cli.md"):
+                     "determinism-and-faults.md", "observability.md",
+                     "cli.md"):
             assert (REPO / "docs" / page).exists(), page
 
     def test_no_broken_internal_links(self):
@@ -81,7 +82,7 @@ def _public_modules():
     return [importlib.import_module(name) for name in (
         "repro.core.api", "repro.core.parallel_matrix",
         "repro.core.permutation", "repro.pro.machine",
-        "repro.pro.backends.pool",
+        "repro.pro.backends.pool", "repro.pro.telemetry",
     )]
 
 
@@ -114,6 +115,6 @@ class TestDocstringExamples:
                    random_permutation_indices):
             doc = fn.__doc__
             for option in ("backend", "transport", "persistent",
-                           "schedule_seed", "kernels"):
+                           "schedule_seed", "kernels", "telemetry"):
                 assert option in doc, (fn.__name__, option)
             assert ">>>" in doc or fn is permute_distributed, fn.__name__
