@@ -178,6 +178,45 @@ def build_parser() -> argparse.ArgumentParser:
     randoms.add_argument("--method", choices=["auto", "hin", "hrua"], default="auto")
     randoms.add_argument("--seed", type=int, default=42)
 
+    explore = sub.add_parser(
+        "explore",
+        help="coverage-guided state-space exploration on the sim backend: "
+             "schedules x fault plans x programs x p, with auto-shrunk "
+             "reproducers for any schedule-dependent behaviour")
+    explore.add_argument("--budget", type=int, default=500,
+                         help="total simulated runs to spend (default 500)")
+    explore.add_argument("--programs", type=str, default=",".join(
+        ("alg5", "alg6", "barrier-ring", "scatter-gather")),
+        help="comma-separated explore programs (see repro.pro.explore."
+             "EXPLORE_PROGRAMS); default sweeps the paper algorithms plus "
+             "the barrier/scatter micro-programs")
+    explore.add_argument("--procs", type=str, default="2,4,8",
+                         help="comma-separated processor counts (default 2,4,8)")
+    explore.add_argument("--plans", choices=["auto", "committed", "none"],
+                         default="auto",
+                         help="fault-plan axis: auto (committed chaos plans plus "
+                              "single-fault plans derived from each cell's op "
+                              "log, the default), committed, or none")
+    explore.add_argument("--baseline", type=int, default=0, metavar="DRAWS",
+                         help="also measure DRAWS plain schedule_seed draws as "
+                              "the random baseline and report the coverage ratio")
+    explore.add_argument("--seed", type=int, default=8128,
+                         help="machine seed shared by every cell (default 8128)")
+    explore.add_argument("--explore-seed", type=int, default=0,
+                         help="seed of the PCT priority sampler (default 0)")
+    explore.add_argument("--max-decisions", type=int, default=2048,
+                         help="scheduling decisions before a run counts as a "
+                              "hang (default 2048)")
+    explore.add_argument("--json", type=str, default=None, metavar="PATH",
+                         help="write the full coverage report to PATH as JSON")
+    explore.add_argument("--commit", type=str, default=None, metavar="DIR",
+                         help="emit a pytest reproducer for every finding into "
+                              "DIR (conventionally tests/simulation/reproducers)")
+    explore.add_argument("--min-distinct", type=int, default=None, metavar="N",
+                         help="fail (exit 4) when fewer than N distinct trace "
+                              "fingerprints were covered -- the CI coverage "
+                              "regression gate")
+
     return parser
 
 
@@ -412,6 +451,37 @@ def _cmd_randoms(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    from repro.pro.explore import explore
+
+    report = explore(
+        programs=[name for name in args.programs.split(",") if name.strip()],
+        procs=_parse_sizes(args.procs),
+        plans=args.plans,
+        budget=args.budget,
+        machine_seed=args.seed,
+        baseline_draws=args.baseline,
+        commit_dir=args.commit,
+        max_decisions=args.max_decisions,
+        explore_seed=args.explore_seed,
+    )
+    print(report.summary())
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"coverage report written to {args.json}")
+    if report.findings:
+        return 3
+    if args.min_distinct is not None and report.distinct_total < args.min_distinct:
+        print(f"coverage regression: {report.distinct_total} distinct trace "
+              f"fingerprints < required {args.min_distinct}")
+        return 4
+    return 0
+
+
 _COMMANDS = {
     "permute": _cmd_permute,
     "matrix": _cmd_matrix,
@@ -419,6 +489,7 @@ _COMMANDS = {
     "scaling": _cmd_scaling,
     "uniformity": _cmd_uniformity,
     "randoms": _cmd_randoms,
+    "explore": _cmd_explore,
 }
 
 

@@ -174,6 +174,26 @@ gap with the existing result record, with no wire-format change.  Rules:
   warm-dispatch overhead is gated at <= 1.05x in
   ``benchmarks/check_bench_regression.py``.
 
+Exploration sub-contract (schedule coverage)
+--------------------------------------------
+A backend that advertises ``deterministic_schedule=True`` is a *model
+checker's substrate*, and :mod:`repro.pro.explore` drives it through four
+surfaces the sim backend defines: a replayable decision trace published on
+``last_schedule`` after **every** run -- completed, failed or interrupted,
+reset to ``None`` when a new run starts so stale traces cannot masquerade
+as current; a ``last_decisions`` log of ``(runnable ranks, their pending
+fabric ops, choice)`` per decision, which is what lets the explorer flip
+prefixes and prune flips between independent operations; a
+``last_op_log`` of completed fabric operations in occurrence order (the
+raw material of trace fingerprints); and the ``policy=`` /
+``max_decisions=`` options -- a pluggable ``choose(step, runnable,
+pending)`` scheduling policy (e.g. the PCT sampler) and a decision bound
+that turns would-be hangs into immediate
+:class:`~repro.pro.backends.sim.ScheduleLimitExceeded` failures.  Any
+future deterministic backend (e.g. a recorded-schedule MPI harness)
+should implement the same four surfaces to plug into ``repro explore``
+unchanged.
+
 Registering a backend
 ---------------------
 ::

@@ -60,7 +60,18 @@ from repro.pro.backends.registry import (
 )
 from repro.util.errors import BackendError, CommunicationError, ValidationError
 
-__all__ = ["SimBackend", "SimFabric"]
+__all__ = ["SimBackend", "SimFabric", "ScheduleLimitExceeded"]
+
+
+class ScheduleLimitExceeded(BackendError):
+    """A sim run exceeded its ``max_decisions`` scheduling budget.
+
+    Raised by the cooperative scheduler when a run keeps hitting yield
+    points past the configured bound -- the deterministic analogue of a
+    livelock (ranks that spin *without* fabric operations never yield and
+    cannot be bounded this way).  The partial decision trace is still
+    recorded on :attr:`SimBackend.last_schedule`, so the hang replays.
+    """
 
 #: Rank lifecycle states of the cooperative scheduler.
 _RUNNABLE, _BLOCKED_RECV, _BLOCKED_BARRIER, _DONE, _FAILED = range(5)
@@ -71,7 +82,7 @@ class _RankState:
     """One rank's continuation: carrier thread, state and handshake events."""
 
     __slots__ = ("rank", "state", "resume", "yielded", "inject", "error",
-                 "result", "wait_src")
+                 "result", "wait_src", "pending_op")
 
     def __init__(self, rank: int):
         self.rank = rank
@@ -82,6 +93,7 @@ class _RankState:
         self.error = None
         self.result = None
         self.wait_src = None              # source rank a blocked receive waits on
+        self.pending_op = None            # fabric op this rank is about to perform
 
 
 class _SimScheduler:
@@ -94,12 +106,22 @@ class _SimScheduler:
     interleaving.
     """
 
-    def __init__(self, n_procs: int, *, schedule_seed=None, schedule=None):
+    def __init__(self, n_procs: int, *, schedule_seed=None, schedule=None,
+                 policy=None, max_decisions=None):
         self._ranks = [_RankState(rank) for rank in range(n_procs)]
         self._rng = None if schedule_seed is None else random.Random(schedule_seed)
         self._replay = [int(choice) for choice in schedule] if schedule else []
         self._replay_pos = 0
+        self._policy = policy
+        self._max_decisions = max_decisions
         self.trace: list[int] = []
+        #: One entry per decision: (runnable ranks, their pending ops, choice).
+        #: The pending ops let an explorer prune prefix flips between
+        #: independent operations (see repro.pro.explore).
+        self.decision_log: list[tuple] = []
+        #: Completed fabric operations in occurrence order, each a
+        #: ``(kind, src, dst)`` tuple (barriers use ``("barrier", r, r)``).
+        self.op_log: list[tuple] = []
         self._ident_to_rank: dict[int, int] = {}
 
     # -- rank side (runs on carrier threads) --------------------------------
@@ -122,11 +144,22 @@ class _SimScheduler:
             exc, state.inject = state.inject, None
             raise exc
 
-    def yield_point(self, rank: int) -> None:
-        """A scheduling opportunity: the rank stays runnable."""
+    def yield_point(self, rank: int, op: tuple | None = None) -> None:
+        """A scheduling opportunity: the rank stays runnable.
+
+        ``op`` names the fabric operation the rank is about to perform,
+        as a ``(kind, src, dst)`` tuple; it is surfaced to scheduling
+        policies and recorded in :attr:`decision_log`.
+        """
         state = self._ranks[rank]
         state.state = _RUNNABLE
+        if op is not None:
+            state.pending_op = op
         self._park(state)
+
+    def record_op(self, op: tuple) -> None:
+        """A fabric operation completed: append it to the occurrence log."""
+        self.op_log.append(op)
 
     def block_on_recv(self, dst: int, src: int) -> None:
         """Block ``dst`` until a message from ``src`` arrives (or deadlock)."""
@@ -213,6 +246,12 @@ class _SimScheduler:
             # The replayed schedule diverged (shrunk/edited trace): fall
             # back deterministically so every prefix is a valid schedule.
             return runnable[0]
+        if self._policy is not None:
+            pending = {r: self._ranks[r].pending_op for r in runnable}
+            choice = self._policy.choose(len(self.trace), runnable, pending)
+            if choice in runnable:
+                return choice
+            return runnable[0]  # a confused policy degrades, never wedges
         if self._rng is not None:
             return runnable[self._rng.randrange(len(runnable))]
         return runnable[0]  # run-to-block: lowest runnable rank
@@ -220,6 +259,13 @@ class _SimScheduler:
     def drive(self, fabric: "SimFabric") -> None:
         """Step ranks until all are done or failed, resolving deadlocks."""
         while True:
+            if (self._max_decisions is not None
+                    and len(self.trace) >= self._max_decisions):
+                raise ScheduleLimitExceeded(
+                    f"sim run still scheduling after {self._max_decisions} "
+                    "decisions: treating it as a hang (raise max_decisions "
+                    "if the program legitimately needs more yield points)"
+                )
             runnable = [s.rank for s in self._ranks if s.state == _RUNNABLE]
             if not runnable:
                 blocked = [s for s in self._ranks if s.state in _BLOCKED]
@@ -245,7 +291,13 @@ class _SimScheduler:
                         )
                     state.state = _RUNNABLE
                 continue
-            choice = self._choose(sorted(runnable))
+            ordered = sorted(runnable)
+            choice = self._choose(ordered)
+            self.decision_log.append((
+                tuple(ordered),
+                tuple(self._ranks[r].pending_op for r in ordered),
+                choice,
+            ))
             self.trace.append(choice)
             state = self._ranks[choice]
             state.resume.set()
@@ -289,8 +341,9 @@ class SimFabric:
     def put(self, src: int, dst: int, tag, payload) -> None:
         """Deposit a message; never blocks (mailboxes are unbounded)."""
         scheduler = self._sched()
-        scheduler.yield_point(src)
+        scheduler.yield_point(src, ("put", src, dst))
         self._queues[dst][src].append((tag, payload))
+        scheduler.record_op(("put", src, dst))
         scheduler.notify_message(dst, src)
 
     def get(self, src: int, dst: int, tag, pending: list):
@@ -301,12 +354,13 @@ class SimFabric:
         later receives, exactly like the in-process fabric.
         """
         scheduler = self._sched()
-        scheduler.yield_point(dst)
+        scheduler.yield_point(dst, ("get", src, dst))
         queue = self._queues[dst][src]
         while True:
             for idx, (msg_tag, payload) in enumerate(pending):
                 if msg_tag == tag:
                     pending.pop(idx)
+                    scheduler.record_op(("get", src, dst))
                     return payload
             matched = None
             while queue:
@@ -316,6 +370,7 @@ class SimFabric:
                     break
                 pending.append((msg_tag, payload))
             if matched is not None:
+                scheduler.record_op(("get", src, dst))
                 return matched
             scheduler.block_on_recv(dst, src)  # raises on proved deadlock
 
@@ -323,7 +378,7 @@ class SimFabric:
         """Block until all ranks arrive; fail fast on abort or deadlock."""
         scheduler = self._sched()
         rank = scheduler.current_rank()
-        scheduler.yield_point(rank)
+        scheduler.yield_point(rank, ("barrier", rank, rank))
         if self._broken:
             raise CommunicationError(
                 "barrier broken or aborted (a rank crashed or the run "
@@ -331,6 +386,7 @@ class SimFabric:
                 f"out after {self.timeout}s"
             )
         self._arrived.add(rank)
+        scheduler.record_op(("barrier", rank, rank))
         if len(self._arrived) == self.n_procs:
             self._arrived.clear()
             scheduler.release_barrier()
@@ -366,6 +422,24 @@ class SimBackend(ExecutionBackend):
         diverging entries fall back to run-to-block order (or to
         ``schedule_seed`` when given), so any prefix of a recorded trace
         is itself a valid schedule.
+    policy:
+        An object with ``choose(step, runnable, pending) -> rank`` that
+        decides scheduling once any explicit ``schedule`` prefix is
+        exhausted (e.g. :class:`repro.pro.explore.PCTPolicy`).  ``pending``
+        maps each runnable rank to the ``(kind, src, dst)`` fabric op it
+        is about to perform (``None`` before its first op).  Mutually
+        exclusive with ``schedule_seed``.
+    max_decisions:
+        Abort the run with :class:`ScheduleLimitExceeded` after this many
+        scheduling decisions -- bounded-time hang surfacing for explorers.
+        ``None`` (default) never aborts.
+
+    After every run -- including failed or interrupted ones -- the
+    (possibly partial) decision trace, decision log and fabric-op
+    occurrence log of that run are published on :attr:`last_schedule`,
+    :attr:`last_decisions` and :attr:`last_op_log`; all three are reset to
+    ``None`` when a new run starts, so a stale trace can never masquerade
+    as the failing one.
     """
 
     name = "sim"
@@ -377,7 +451,8 @@ class SimBackend(ExecutionBackend):
         deterministic_schedule=True,
     )
 
-    def __init__(self, *, schedule_seed: int | None = None, schedule=None):
+    def __init__(self, *, schedule_seed: int | None = None, schedule=None,
+                 policy=None, max_decisions: int | None = None):
         if schedule_seed is not None and not isinstance(schedule_seed, int):
             raise ValidationError(
                 f"schedule_seed must be an int or None, got {schedule_seed!r}"
@@ -390,11 +465,34 @@ class SimBackend(ExecutionBackend):
                     "schedule must be a sequence of rank ids (a recorded "
                     f"last_schedule), got {schedule!r}"
                 ) from None
+        if policy is not None:
+            if schedule_seed is not None:
+                raise ValidationError(
+                    "policy and schedule_seed are mutually exclusive: both "
+                    "decide scheduling after the replay prefix is exhausted"
+                )
+            if not callable(getattr(policy, "choose", None)):
+                raise ValidationError(
+                    "policy must expose choose(step, runnable, pending), "
+                    f"got {policy!r}"
+                )
+        if max_decisions is not None and (
+                not isinstance(max_decisions, int) or max_decisions < 1):
+            raise ValidationError(
+                f"max_decisions must be a positive int or None, got "
+                f"{max_decisions!r}"
+            )
         self.schedule_seed = schedule_seed
         self.schedule = schedule
+        self.policy = policy
+        self.max_decisions = max_decisions
         #: Decision trace of the most recent run (also set on failure):
         #: pass it back as ``schedule=`` to replay that exact interleaving.
         self.last_schedule: list[int] | None = None
+        #: (runnable, pending ops, choice) tuples of the most recent run.
+        self.last_decisions: list[tuple] | None = None
+        #: Completed fabric ops of the most recent run in occurrence order.
+        self.last_op_log: list[tuple] | None = None
 
     def create_fabric(self, n_procs: int, *, timeout: float) -> SimFabric:
         """Build the cooperative fabric one run's ranks communicate through."""
@@ -410,6 +508,11 @@ class SimBackend(ExecutionBackend):
         with the rank in the message.
         """
         n = len(contexts)
+        # Reset before any validation so a rejected or crashed run can
+        # never leave a previous run's trace looking current.
+        self.last_schedule = None
+        self.last_decisions = None
+        self.last_op_log = None
         fabric = contexts[0].comm._fabric
         if not isinstance(fabric, SimFabric):
             raise BackendError(
@@ -418,7 +521,8 @@ class SimBackend(ExecutionBackend):
                 "contexts built for another backend"
             )
         scheduler = _SimScheduler(
-            n, schedule_seed=self.schedule_seed, schedule=self.schedule
+            n, schedule_seed=self.schedule_seed, schedule=self.schedule,
+            policy=self.policy, max_decisions=self.max_decisions,
         )
         fabric._scheduler = scheduler
         carriers = [
@@ -436,6 +540,8 @@ class SimBackend(ExecutionBackend):
             scheduler.drive(fabric)
         finally:
             self.last_schedule = list(scheduler.trace)
+            self.last_decisions = list(scheduler.decision_log)
+            self.last_op_log = list(scheduler.op_log)
             # If drive() was interrupted (KeyboardInterrupt in the driving
             # thread), parked carriers would otherwise never resume and
             # leak with their contexts; wake them into an error and give

@@ -87,6 +87,9 @@ EVENT_KINDS = (
     "retry",
     "degraded",
     "deadline-clamp",
+    "explore-start",
+    "explore-divergence",
+    "explore-shrink",
 )
 
 # Process-wide structured event log.  Bounded so long-lived services cannot

@@ -438,3 +438,65 @@ class TestWarmDriverDeterminism:
                                               seed=99)
         warm, _ = sample_matrix_parallel([5, 6, 7], backend="process", seed=99)
         assert np.array_equal(reference, warm)
+
+
+class TestExploredScheduleReplay:
+    """Explored-schedule replay axis: traces the explorer records replay
+    bit-identically under ``SimBackend(schedule=...)``, with telemetry on
+    and off.
+
+    The explorer (``repro.pro.explore``) commits shrunk decision traces
+    as reproducers; those files are only trustworthy if (a) replaying a
+    recorded trace reproduces the recorded run exactly and (b) passive
+    telemetry collection cannot perturb the schedule or the results.
+    """
+
+    SEED = 8128
+
+    def _explored_traces(self):
+        """Record a spread of distinct interleavings via PCT policies."""
+        from repro.pro.explore import PCTPolicy
+
+        traces = []
+        for pct_seed in (0, 1, 2):
+            machine = PROMachine(
+                4, seed=self.SEED, backend="sim",
+                backend_options={"policy": PCTPolicy(pct_seed)},
+            )
+            matrix, _ = sample_matrix_parallel(
+                [5, 6, 7, 8], algorithm="alg5", machine=machine)
+            traces.append((list(machine.backend.last_schedule), matrix))
+        return traces
+
+    def test_recorded_traces_replay_bit_identically(self):
+        for trace, matrix in self._explored_traces():
+            replay = PROMachine(4, seed=self.SEED, backend="sim",
+                                backend_options={"schedule": trace})
+            replayed, _ = sample_matrix_parallel(
+                [5, 6, 7, 8], algorithm="alg5", machine=replay)
+            assert np.array_equal(replayed, matrix)
+            assert replay.backend.last_schedule == trace
+
+    def test_replay_is_telemetry_invariant(self):
+        from repro.pro.telemetry import Telemetry
+
+        for trace, matrix in self._explored_traces():
+            telemetry = Telemetry()
+            watched = PROMachine(4, seed=self.SEED, backend="sim",
+                                 backend_options={"schedule": trace},
+                                 telemetry=telemetry)
+            replayed, _ = sample_matrix_parallel(
+                [5, 6, 7, 8], algorithm="alg5", machine=watched)
+            assert np.array_equal(replayed, matrix)
+            assert watched.backend.last_schedule == trace
+            assert telemetry.last is not None  # collection actually ran
+
+    def test_explorer_cell_replay_is_deterministic_end_to_end(self):
+        from repro.pro.explore import replay_cell
+
+        collect = {}
+        first = replay_cell("alg6", 4, machine_seed=self.SEED, _collect=collect)
+        again = replay_cell("alg6", 4, machine_seed=self.SEED,
+                            schedule=collect["schedule"])
+        assert first[0] == "ok"
+        assert again == first

@@ -1,0 +1,113 @@
+"""Property-based tests: trace fingerprinting is canonical.
+
+The explorer's coverage metric is the canonical fingerprint of a run's
+fabric-op sequence (the Foata normal form of its Mazurkiewicz trace under
+:func:`repro.pro.explore.ops_conflict`).  The whole point of the canonical
+form is captured by two properties over arbitrary op sequences:
+
+* **commutation invariance** -- swapping adjacent *independent* ops (any
+  number of times, anywhere) never changes the fingerprint;
+* **conflict sensitivity** -- swapping two adjacent *conflicting* (and
+  unequal) ops always changes it.
+
+Together these say the fingerprint identifies exactly the commutation
+class: scheduler noise collapses, behavioural differences never do.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pro.explore import (
+    canonical_fingerprint,
+    foata_normal_form,
+    interleaving_fingerprint,
+    ops_conflict,
+)
+
+RANKS = 4
+
+
+def _ops():
+    kinds = st.sampled_from(["put", "get", "barrier"])
+    rank = st.integers(min_value=0, max_value=RANKS - 1)
+
+    def build(kind, a, b):
+        if kind == "barrier":
+            return ("barrier", a, a)
+        return (kind, a, b)
+
+    return st.builds(build, kinds, rank, rank)
+
+
+def _op_sequences(min_size=0, max_size=10):
+    return st.lists(_ops(), min_size=min_size, max_size=max_size)
+
+
+def _independent_shuffle(ops, choices):
+    """Apply adjacent swaps of independent ops, driven by ``choices``."""
+    ops = list(ops)
+    for raw in choices:
+        if len(ops) < 2:
+            break
+        i = raw % (len(ops) - 1)
+        if not ops_conflict(ops[i], ops[i + 1]):
+            ops[i], ops[i + 1] = ops[i + 1], ops[i]
+    return ops
+
+
+class TestCommutationInvariance:
+    @given(ops=_op_sequences(),
+           choices=st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                            max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_independent_swaps_preserve_fingerprint(self, ops, choices):
+        shuffled = _independent_shuffle(ops, choices)
+        assert canonical_fingerprint(shuffled) == canonical_fingerprint(ops)
+        assert foata_normal_form(shuffled) == foata_normal_form(ops)
+
+    @given(ops=_op_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_normal_form_preserves_the_multiset_of_ops(self, ops):
+        layered = [op for layer in foata_normal_form(ops) for op in layer]
+        assert sorted(layered) == sorted(ops)
+
+    @given(ops=_op_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_layers_only_hold_pairwise_independent_ops(self, ops):
+        for layer in foata_normal_form(ops):
+            for i, a in enumerate(layer):
+                for b in layer[i + 1:]:
+                    assert not ops_conflict(a, b), (a, b)
+
+
+class TestConflictSensitivity:
+    @given(ops=_op_sequences(min_size=2),
+           position=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=200, deadline=None)
+    def test_conflicting_swap_changes_fingerprint(self, ops, position):
+        i = position % (len(ops) - 1)
+        a, b = ops[i], ops[i + 1]
+        if a == b or not ops_conflict(a, b):
+            return  # only unequal conflicting neighbours are informative
+        swapped = list(ops)
+        swapped[i], swapped[i + 1] = b, a
+        assert canonical_fingerprint(swapped) != canonical_fingerprint(ops)
+
+    @given(ops=_op_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_outcome_is_folded_into_both_fingerprints(self, ops):
+        ok = ("ok", "digest-a")
+        other = ("ok", "digest-b")
+        assert canonical_fingerprint(ops, ok) != canonical_fingerprint(ops, other)
+        assert interleaving_fingerprint(ops, ok) != interleaving_fingerprint(ops, other)
+
+
+class TestConflictRelationShape:
+    @given(a=_ops(), b=_ops())
+    @settings(max_examples=200, deadline=None)
+    def test_conflict_is_symmetric(self, a, b):
+        assert ops_conflict(a, b) == ops_conflict(b, a)
+
+    @given(a=_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_conflict_is_reflexive(self, a):
+        assert ops_conflict(a, a)

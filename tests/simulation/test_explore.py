@@ -1,0 +1,231 @@
+"""The explorer itself: coverage guidance, findings, shrinking, reporting.
+
+The acceptance bar of the exploration layer (pinned here, not just in CI):
+
+* coverage guidance must beat plain random ``schedule_seed`` draws by at
+  least 5x distinct trace fingerprints on alg5 at ``p = 4``;
+* the planted order-dependent program (``racy-append``) must be *found*
+  within a small budget and auto-shrunk to a <= 10 decision reproducer --
+  the mutation self-check that gates the explorer against silent
+  blindness.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.pro.explore import (
+    DEFAULT_PROGRAMS,
+    EXPLORE_PROGRAMS,
+    ExplorationReport,
+    baseline_distinct,
+    committed_plans_for,
+    explore,
+    generated_fault_plans,
+    outcomes_equivalent,
+    replay_cell,
+    write_reproducer,
+)
+from repro.pro.telemetry import event_seq, events_since
+from repro.util.errors import ValidationError
+
+pytestmark = pytest.mark.sim
+
+MACHINE_SEED = 8128
+
+
+class TestReplayCell:
+    def test_ok_outcome_is_digested_and_deterministic(self):
+        first = replay_cell("alg5", 4, machine_seed=MACHINE_SEED)
+        second = replay_cell("alg5", 4, machine_seed=MACHINE_SEED)
+        assert first[0] == "ok"
+        assert first == second
+
+    def test_every_registered_program_runs_clean_at_p4(self):
+        for name in DEFAULT_PROGRAMS:
+            outcome = replay_cell(name, 4, machine_seed=MACHINE_SEED)
+            assert outcome[0] == "ok", (name, outcome)
+
+    def test_fault_plan_changes_the_outcome(self):
+        plans = committed_plans_for(4)
+        outcome = replay_cell("alg5", 4, machine_seed=MACHINE_SEED,
+                              plan=plans["crash-root-early"])
+        assert outcome[0] == "fail"
+
+    def test_hang_is_surfaced_in_bounded_time(self):
+        outcome = replay_cell("alg5", 4, machine_seed=MACHINE_SEED, max_decisions=3)
+        assert outcome == ("hang", "no termination within 3 decisions")
+
+    def test_collect_exposes_partial_trace_on_failure(self):
+        collect = {}
+        replay_cell("alg5", 4, machine_seed=MACHINE_SEED,
+                    plan=committed_plans_for(4)["crash-root-early"],
+                    _collect=collect)
+        assert collect["schedule"]  # partial, but never empty or missing
+        assert collect["decisions"]
+
+    def test_unknown_program_is_rejected(self):
+        with pytest.raises(ValidationError, match="unknown explore program"):
+            replay_cell("no-such-program", 4)
+
+    def test_outcome_equivalence_rules(self):
+        assert outcomes_equivalent(("ok", "abc"), ("ok", "abc"))
+        assert not outcomes_equivalent(("ok", "abc"), ("ok", "xyz"))
+        # Which rank's error class wins is schedule-dependent and benign.
+        assert outcomes_equivalent(("fail", "BackendError"), ("fail", "InjectedFault"))
+        assert not outcomes_equivalent(("fail", "BackendError"), ("hang", "x"))
+
+
+class TestGeneratedPlans:
+    def test_plans_follow_the_op_log(self):
+        collect = {}
+        replay_cell("alg5", 4, machine_seed=MACHINE_SEED, _collect=collect)
+        plans = generated_fault_plans(collect["op_log"], 4)
+        assert plans  # alg5 communicates, so there is something to break
+        names = set(plans)
+        assert any(name.startswith("crash-") for name in names)
+        assert any(name.startswith("drop-") for name in names)
+        # alg5 has no barriers: no barrier-timeout plans may be invented.
+        assert not any(name.startswith("barrier-timeout") for name in names)
+
+    def test_generation_is_deterministic(self):
+        collect = {}
+        replay_cell("alg6", 4, machine_seed=MACHINE_SEED, _collect=collect)
+        once = generated_fault_plans(collect["op_log"], 4)
+        again = generated_fault_plans(list(collect["op_log"]), 4)
+        assert once == again
+
+    def test_committed_plans_filtered_by_rank_bound(self):
+        assert "barrier-timeout-last-rank" in committed_plans_for(4)
+        assert "barrier-timeout-last-rank" not in committed_plans_for(2)
+
+
+class TestAcceptance:
+    """ISSUE 10 acceptance: guidance beats 500 random draws by >= 5x."""
+
+    @pytest.mark.slow
+    def test_explorer_beats_random_draws_five_fold_on_alg5_p4(self):
+        report = explore(programs=["alg5"], procs=[4], budget=500,
+                         machine_seed=MACHINE_SEED, baseline_draws=500)
+        assert report.baseline is not None
+        assert report.baseline["draws"] == 500
+        ratio = report.coverage_ratio()
+        assert ratio is not None and ratio >= 5.0, report.summary()
+        # No schedule-dependence in the product code itself.
+        assert report.findings == []
+
+    def test_small_budget_slice_still_beats_random(self):
+        # The fast-suite version of the criterion: same shape, 60 runs.
+        report = explore(programs=["alg5"], procs=[4], budget=60,
+                         machine_seed=MACHINE_SEED, baseline_draws=60)
+        assert report.coverage_ratio() >= 5.0, report.summary()
+        assert report.findings == []
+
+
+class TestMutationSelfCheck:
+    """The planted bug must be found, shrunk small, and reproducible."""
+
+    def test_planted_bug_found_and_shrunk_within_budget(self, tmp_path):
+        report = explore(programs=["racy-append"], procs=[4], plans="none",
+                         budget=60, machine_seed=MACHINE_SEED,
+                         commit_dir=tmp_path)
+        assert report.findings, "explorer is blind: planted bug not found"
+        finding = report.findings[0]
+        assert finding.kind == "divergence"
+        assert len(finding.schedule) <= 10, finding.schedule
+        assert finding.original_length >= len(finding.schedule)
+        # The shrunk schedule really does reproduce the divergence.
+        observed = replay_cell("racy-append", 4, machine_seed=MACHINE_SEED,
+                               schedule=finding.schedule)
+        reference = replay_cell("racy-append", 4, machine_seed=MACHINE_SEED,
+                                schedule=[])
+        assert not outcomes_equivalent(observed, reference)
+        # And the committed reproducer file is a runnable pytest module
+        # that FAILS while the bug exists (it guards the fix).
+        assert finding.reproducer is not None
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+             finding.reproducer],
+            capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "test_interleaving_is_schedule_independent" in proc.stdout
+
+    def test_findings_are_deduplicated_per_cell(self):
+        report = explore(programs=["racy-append"], procs=[4], plans="none",
+                         budget=60, machine_seed=MACHINE_SEED)
+        witnesses = {(f.kind, tuple(f.schedule)) for f in report.findings}
+        assert len(witnesses) == len(report.findings)
+        assert len(report.findings) <= 3
+
+    def test_telemetry_events_are_emitted(self):
+        since = event_seq()
+        explore(programs=["racy-append"], procs=[2], plans="none", budget=20,
+                machine_seed=MACHINE_SEED)
+        kinds = [event["kind"] for event in events_since(since)]
+        assert "explore-start" in kinds
+        assert "explore-divergence" in kinds
+        assert "explore-shrink" in kinds
+
+
+class TestReport:
+    def test_report_schema_round_trips_through_json(self):
+        report = explore(programs=["alg5"], procs=[2], plans="committed",
+                         budget=25, machine_seed=MACHINE_SEED, baseline_draws=10)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["schema"] == ExplorationReport.SCHEMA
+        assert payload["runs_used"] <= payload["budget"]
+        assert payload["distinct_total"] == sum(c["distinct"] for c in payload["cells"])
+        assert payload["baseline"]["draws"] == 10
+        for cell in payload["cells"]:
+            assert "fingerprints" not in cell  # internal detail, not schema
+            assert cell["runs"] >= 0 and cell["distinct"] >= 0
+        assert isinstance(payload["findings"], list)
+        assert "coverage_ratio" in payload
+
+    def test_budget_is_respected(self):
+        report = explore(programs=["alg5"], procs=[2], budget=10,
+                         machine_seed=MACHINE_SEED)
+        assert report.runs_used <= 10
+
+    def test_summary_mentions_cells_and_baseline(self):
+        report = explore(programs=["alg5"], procs=[2], plans="none", budget=12,
+                         machine_seed=MACHINE_SEED, baseline_draws=6)
+        text = report.summary()
+        assert "distinct trace fingerprints" in text
+        assert "baseline" in text
+
+    def test_bad_plans_mode_is_rejected(self):
+        with pytest.raises(ValidationError, match="plans must be"):
+            explore(programs=["alg5"], procs=[2], plans="bogus", budget=5)
+
+
+class TestReproducerEmission:
+    def test_reproducer_is_self_contained_and_plan_importable(self, tmp_path):
+        from repro.pro.backends.faults import DropMessage
+        from repro.pro.explore import Finding
+
+        finding = Finding(
+            program="alg5", n_procs=4, plan_name="drop-demo",
+            plan=(DropMessage(src=0, dst=1, nth=0),),
+            kind="failure", schedule=[0, 2, 1], original_length=12,
+            observed=("fail", "BackendError"), reference=("ok", "abc"),
+        )
+        path = write_reproducer(finding, tmp_path, machine_seed=MACHINE_SEED)
+        source = (tmp_path / path.split("/")[-1]).read_text()
+        assert "DropMessage" in source
+        assert "SCHEDULE = [0, 2, 1]" in source
+        assert "pytest.mark.sim" in source
+        compile(source, path, "exec")  # emitted file must at least parse
+
+    def test_baseline_distinct_collapses_for_schedule_independent_code(self):
+        fingerprints = baseline_distinct("alg5", 4, 25, machine_seed=MACHINE_SEED)
+        assert len(fingerprints) == 1
+
+
+def test_program_registry_covers_defaults():
+    assert set(DEFAULT_PROGRAMS) <= set(EXPLORE_PROGRAMS)
+    assert "racy-append" in EXPLORE_PROGRAMS
+    assert "racy-append" not in DEFAULT_PROGRAMS

@@ -223,3 +223,118 @@ class TestFailFast:
             return "survived"
 
         assert _sim_machine(1).run(late_barrier).results == ["survived"]
+
+
+class TestRunIntrospection:
+    """Partial traces, decision/op logs, policies, decision bounds.
+
+    The exploration layer (``repro.pro.explore``) is built entirely on
+    these surfaces; their semantics are pinned here, next to the backend.
+    """
+
+    def test_mid_run_raise_records_partial_trace_and_logs(self):
+        def crash_after_talking(ctx):
+            ctx.comm.send(ctx.rank, (ctx.rank + 1) % ctx.n_procs, tag=1)
+            got = ctx.comm.recv((ctx.rank - 1) % ctx.n_procs, tag=1)
+            if ctx.rank == 1:
+                raise RuntimeError("boom mid-run")
+            return got
+
+        machine = _sim_machine(3)
+        with pytest.raises(BackendError, match="boom mid-run"):
+            machine.run(crash_after_talking)
+        backend = machine.backend
+        assert backend.last_schedule  # partial, but present
+        assert backend.last_decisions
+        assert backend.last_op_log
+        # Decision log and trace describe the same run.
+        assert [d[2] for d in backend.last_decisions] == backend.last_schedule
+        # The replay of the partial trace is a valid schedule (prefix
+        # semantics): the same crash reproduces under it.
+        replay = _sim_machine(3, schedule=backend.last_schedule)
+        with pytest.raises(BackendError, match="boom mid-run"):
+            replay.run(crash_after_talking)
+
+    def test_keyboard_interrupt_still_records_partial_trace(self):
+        def interrupt(ctx):
+            ctx.comm.barrier()
+            if ctx.rank == 1:
+                raise KeyboardInterrupt
+            ctx.comm.barrier()
+
+        machine = _sim_machine(2)
+        with pytest.raises(KeyboardInterrupt):
+            machine.run(interrupt)
+        assert machine.backend.last_schedule
+        assert machine.backend.last_op_log  # the first barrier completed
+
+    def test_stale_trace_cleared_when_a_new_run_starts(self):
+        backend = SimBackend()
+        machine = PROMachine(2, seed=0, backend=backend)
+        machine.run(_allreduce)
+        assert backend.last_schedule
+        # A run that is rejected before any rank steps must not leave the
+        # previous run's trace looking like its own.
+        thread_machine = PROMachine(2, seed=0)
+        contexts = thread_machine._build_contexts()
+        with pytest.raises(BackendError, match="SimFabric"):
+            backend.run(contexts, _allreduce, (), {})
+        assert backend.last_schedule is None
+        assert backend.last_decisions is None
+        assert backend.last_op_log is None
+
+    def test_op_log_matches_the_programs_communication(self):
+        machine = _sim_machine(2)
+        machine.run(_ring_pass, 7)
+        ops = machine.backend.last_op_log
+        assert ops.count(("put", 0, 1)) == 1
+        assert ops.count(("put", 1, 0)) == 1
+        assert ops.count(("get", 1, 0)) == 1  # rank 0 receives from rank 1
+        assert ops.count(("get", 0, 1)) == 1
+        assert sum(1 for op in ops if op[0] == "barrier") == 2
+        # Decisions carry the pending ops of every runnable rank.
+        kinds = {op[0] for _, pendings, _ in machine.backend.last_decisions
+                 for op in pendings if op is not None}
+        assert kinds <= {"put", "get", "barrier"}
+
+    def test_policy_steers_the_schedule(self):
+        class HighestFirst:
+            def choose(self, step, runnable, pending):
+                assert set(pending) == set(runnable)
+                return max(runnable)
+
+        machine = _sim_machine(3, policy=HighestFirst())
+        run = machine.run(_allreduce)
+        assert run.results == [3, 3, 3]
+        # The first decision went to the highest rank, not run-to-block's 0.
+        assert machine.backend.last_schedule[0] == 2
+
+    def test_policy_and_schedule_seed_are_mutually_exclusive(self):
+        class AnyPolicy:
+            def choose(self, step, runnable, pending):
+                return runnable[0]
+
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            SimBackend(schedule_seed=1, policy=AnyPolicy())
+        with pytest.raises(ValidationError, match="choose"):
+            SimBackend(policy=object())
+
+    def test_max_decisions_surfaces_hangs_in_bounded_time(self):
+        from repro.pro.backends.sim import ScheduleLimitExceeded
+
+        machine = _sim_machine(3, max_decisions=2)
+        with pytest.raises(ScheduleLimitExceeded, match="2 decisions"):
+            machine.run(_ring_pass, 0)
+        # The partial trace up to the bound is still available for replay.
+        assert len(machine.backend.last_schedule) == 2
+
+    def test_max_decisions_validation(self):
+        with pytest.raises(ValidationError, match="max_decisions"):
+            SimBackend(max_decisions=0)
+        with pytest.raises(ValidationError, match="max_decisions"):
+            SimBackend(max_decisions="lots")
+
+    def test_generous_max_decisions_changes_nothing(self):
+        plain = _sim_machine(4).run(_allreduce).results
+        bounded = _sim_machine(4, max_decisions=10_000).run(_allreduce).results
+        assert bounded == plain

@@ -379,3 +379,43 @@ class TestStatsAndTelemetry:
                      "--seed", "3", "--telemetry-json", str(path)]) == 0
         report = json.loads(path.read_text())
         assert report["backend"] == "thread" and report["n_procs"] == 3
+
+
+class TestExploreCommand:
+    def test_explore_smoke_with_json_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "coverage.json"
+        code = main(["explore", "--budget", "25", "--programs", "alg5",
+                     "--procs", "2", "--plans", "committed",
+                     "--baseline", "10", "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distinct trace fingerprints" in out
+        assert "coverage ratio" in out
+        report = json.loads(path.read_text())
+        assert report["schema"] == 1
+        assert report["budget"] == 25
+        assert report["baseline"]["draws"] == 10
+        assert report["cells"]
+
+    def test_explore_findings_exit_code_and_commit(self, tmp_path):
+        code = main(["explore", "--budget", "40", "--programs", "racy-append",
+                     "--procs", "4", "--plans", "none",
+                     "--commit", str(tmp_path)])
+        assert code == 3  # findings are a failure for CI
+        assert list(tmp_path.glob("test_repro_*.py"))
+
+    def test_explore_min_distinct_gate(self, capsys):
+        code = main(["explore", "--budget", "12", "--programs", "alg5",
+                     "--procs", "2", "--plans", "none",
+                     "--min-distinct", "10000"])
+        assert code == 4
+        assert "coverage regression" in capsys.readouterr().out
+
+    def test_explore_parser_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.budget == 500
+        assert args.plans == "auto"
+        assert args.procs == "2,4,8"
+        assert args.min_distinct is None

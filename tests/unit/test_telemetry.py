@@ -102,6 +102,7 @@ class TestEventLog:
         assert set(EVENT_KINDS) == {
             "pool-spawn", "pool-heal", "pool-poison", "pool-evict",
             "pool-close", "retry", "degraded", "deadline-clamp",
+            "explore-start", "explore-divergence", "explore-shrink",
         }
 
 
